@@ -1,0 +1,121 @@
+//! Criterion micro-benchmarks for the LLM-side pipeline: these back the
+//! per-table reproduction binaries by establishing each stage's cost
+//! envelope (prompt build → tokenize → logits → generate → decode-analyze).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lmpeel_configspace::ArraySize;
+use lmpeel_core::decoding::{value_distribution, value_span};
+use lmpeel_core::prompt::PromptBuilder;
+use lmpeel_lm::{generate, GenerateSpec, InductionLm, LanguageModel, Sampler};
+use lmpeel_perfdata::{icl_replicas, CostModel, PerfDataset};
+use lmpeel_tokenizer::{Tokenizer, EOS};
+use std::hint::black_box;
+
+fn dataset() -> PerfDataset {
+    PerfDataset::generate(&CostModel::paper(), ArraySize::SM)
+}
+
+fn bench_tokenizer(c: &mut Criterion) {
+    let t = Tokenizer::paper();
+    let ds = dataset();
+    let sets = icl_replicas(&ds, 50, 1, 1);
+    let builder = PromptBuilder::new(ds.space().clone(), ds.size());
+    let prompt = builder.for_icl_set(&sets[0]);
+    let text = prompt.render();
+    let mut g = c.benchmark_group("tokenizer");
+    g.throughput(criterion::Throughput::Bytes(text.len() as u64));
+    g.bench_function("encode_50_example_prompt", |b| {
+        b.iter(|| black_box(t.encode(black_box(&text))))
+    });
+    let ids = t.encode(&text);
+    g.bench_function("decode_50_example_prompt", |b| {
+        b.iter(|| black_box(t.decode(black_box(&ids))))
+    });
+    g.finish();
+}
+
+fn bench_prompt_build(c: &mut Criterion) {
+    let ds = dataset();
+    let builder = PromptBuilder::new(ds.space().clone(), ds.size());
+    let mut g = c.benchmark_group("prompt");
+    for n in [10usize, 100] {
+        let sets = icl_replicas(&ds, n, 1, 1);
+        g.bench_with_input(BenchmarkId::new("build", n), &sets[0], |b, set| {
+            b.iter(|| black_box(builder.for_icl_set(black_box(set))))
+        });
+    }
+    g.finish();
+}
+
+fn bench_induction_logits(c: &mut Criterion) {
+    let ds = dataset();
+    let model = InductionLm::paper(0);
+    let builder = PromptBuilder::new(ds.space().clone(), ds.size());
+    let mut g = c.benchmark_group("induction_logits");
+    for n in [5usize, 20, 100] {
+        let sets = icl_replicas(&ds, n, 1, 1);
+        let ids = builder.for_icl_set(&sets[0]).to_tokens(model.tokenizer());
+        g.bench_with_input(BenchmarkId::new("icl", n), &ids, |b, ids| {
+            b.iter(|| black_box(model.logits(black_box(ids))))
+        });
+    }
+    g.finish();
+}
+
+fn bench_generation(c: &mut Criterion) {
+    let ds = dataset();
+    let model = InductionLm::paper(0);
+    let builder = PromptBuilder::new(ds.space().clone(), ds.size());
+    let sets = icl_replicas(&ds, 20, 1, 1);
+    let ids = builder.for_icl_set(&sets[0]).to_tokens(model.tokenizer());
+    let t = model.tokenizer();
+    let spec = GenerateSpec {
+        sampler: Sampler::paper(),
+        max_tokens: 24,
+        stop_tokens: vec![t.vocab().token_id("\n").unwrap(), t.special(EOS)],
+        trace_min_prob: 1e-3,
+        seed: 0,
+    };
+    c.bench_function("generate_runtime_prediction_20_icl", |b| {
+        b.iter(|| black_box(generate(&model, black_box(&ids), &spec)))
+    });
+}
+
+fn bench_decoding_analysis(c: &mut Criterion) {
+    let ds = dataset();
+    let model = InductionLm::paper(0);
+    let builder = PromptBuilder::new(ds.space().clone(), ds.size());
+    let sets = icl_replicas(&ds, 20, 1, 1);
+    let t = model.tokenizer();
+    let ids = builder.for_icl_set(&sets[0]).to_tokens(t);
+    let spec = GenerateSpec {
+        sampler: Sampler::paper(),
+        max_tokens: 24,
+        stop_tokens: vec![t.vocab().token_id("\n").unwrap(), t.special(EOS)],
+        trace_min_prob: 1e-3,
+        seed: 0,
+    };
+    let trace = generate(&model, &ids, &spec);
+    let span = value_span(&trace, t).expect("value");
+    c.bench_function("value_distribution_20k_budget", |b| {
+        b.iter(|| {
+            black_box(value_distribution(
+                black_box(&trace),
+                span.clone(),
+                t,
+                20_000,
+                7,
+            ))
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_tokenizer,
+    bench_prompt_build,
+    bench_induction_logits,
+    bench_generation,
+    bench_decoding_analysis
+);
+criterion_main!(benches);

@@ -1,0 +1,101 @@
+//! Criterion micro-benchmarks for the substrate crates: the analytical
+//! performance model, the boosted-tree baseline, the executable syr2k
+//! kernel, and the constructed-weights transformer.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lmpeel_configspace::{syr2k_space, ArraySize, Syr2kConfig};
+use lmpeel_gbdt::{Gbdt, GbdtParams};
+use lmpeel_kernel::Syr2kProblem;
+use lmpeel_lm::LanguageModel;
+use lmpeel_perfdata::{CostModel, PerfDataset};
+use lmpeel_tensor::Tensor2;
+use lmpeel_transformer::{causal_attention, InductionTransformer};
+use std::hint::black_box;
+
+fn bench_costmodel(c: &mut Criterion) {
+    let model = CostModel::paper();
+    let space = syr2k_space();
+    let cfg = Syr2kConfig::from_config(&space, &space.config_at(5_000));
+    c.bench_function("costmodel_single_runtime", |b| {
+        b.iter(|| black_box(model.runtime_measured(black_box(cfg), ArraySize::XL)))
+    });
+    c.bench_function("costmodel_full_lattice_10648", |b| {
+        b.iter(|| black_box(PerfDataset::generate(&model, ArraySize::SM)))
+    });
+}
+
+fn bench_gbdt(c: &mut Criterion) {
+    let ds = PerfDataset::generate(&CostModel::paper(), ArraySize::SM);
+    let (train, _) = ds.train_test_split(0.8, 42);
+    let mut g = c.benchmark_group("gbdt_fit");
+    g.sample_size(10);
+    for n in [100usize, 1000] {
+        let (xs, ys) = ds.features_for(&train[..n]);
+        g.bench_with_input(BenchmarkId::new("rows", n), &(xs, ys), |b, (xs, ys)| {
+            b.iter(|| {
+                black_box(Gbdt::fit(
+                    black_box(xs),
+                    black_box(ys),
+                    GbdtParams { n_estimators: 100, ..Default::default() },
+                    0,
+                ))
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_kernel(c: &mut Criterion) {
+    let p = Syr2kProblem::new(60, 80); // Polybench S size
+    let tiled = Syr2kConfig {
+        pack_a: true,
+        pack_b: false,
+        interchange: false,
+        tile_outer: 32,
+        tile_middle: 16,
+        tile_inner: 32,
+    };
+    let mut g = c.benchmark_group("syr2k_kernel_s");
+    g.sample_size(20);
+    g.bench_function("reference", |b| b.iter(|| black_box(p.run_reference())));
+    g.bench_function("tiled_packed", |b| {
+        b.iter(|| black_box(p.run_configured(black_box(tiled))))
+    });
+    g.finish();
+}
+
+fn bench_transformer(c: &mut Criterion) {
+    let model = InductionTransformer::paper();
+    let mut g = c.benchmark_group("transformer_forward");
+    g.sample_size(10);
+    for len in [128usize, 512] {
+        let text = "outer middle inner loop tile packing array size problem ".repeat(len / 9 + 1);
+        let mut ids = model.tokenizer().encode(&text);
+        ids.truncate(len);
+        g.bench_with_input(BenchmarkId::new("context", len), &ids, |b, ids| {
+            b.iter(|| black_box(model.logits(black_box(ids))))
+        });
+    }
+    g.finish();
+}
+
+fn bench_attention(c: &mut Criterion) {
+    let t = 512;
+    let d = 96;
+    let q = Tensor2::from_fn(t, d, |i, j| ((i * 31 + j * 7) % 17) as f32 / 17.0 - 0.5);
+    let k = Tensor2::from_fn(t, d, |i, j| ((i * 13 + j * 3) % 19) as f32 / 19.0 - 0.5);
+    let v = Tensor2::from_fn(t, d, |i, j| ((i + j) % 23) as f32 / 23.0);
+    c.bench_function("causal_attention_512x96", |b| {
+        b.iter(|| black_box(causal_attention(black_box(&q), &k, &v, 8.0)))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_costmodel,
+    bench_gbdt,
+    bench_kernel,
+    bench_transformer,
+    bench_attention
+);
+criterion_main!(benches);

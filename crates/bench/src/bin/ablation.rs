@@ -1,0 +1,60 @@
+//! Ablation study: which mechanism of the LLM surrogate drives which paper
+//! phenomenon?
+//!
+//! Re-runs the full §IV-A grid with one `InductionLm` component disabled at
+//! a time and reports the §IV-A aggregates per variant. This backs the
+//! DESIGN.md claim that each modelled mechanism is load-bearing:
+//!
+//! * **no similarity attention** → accuracy collapses toward pure parroting
+//!   of the ICL distribution (best-R² drops);
+//! * **no magnitude prior** → copying intensifies and off-ICL magnitudes
+//!   vanish from the haystack;
+//! * **no numeric smearing** → values are either exact copies or prior
+//!   noise — Figure 3's *clustering without copying* disappears;
+//! * **no drift / no jitter** → formatting and seed effects vanish.
+
+use lmpeel_bench::TextTable;
+use lmpeel_core::experiment::{overall_report, run_plan, setting_reports, ExperimentPlan};
+use lmpeel_lm::{InductionConfig, InductionLm};
+use lmpeel_perfdata::DatasetBundle;
+use lmpeel_tokenizer::Tokenizer;
+
+fn main() {
+    let bundle = DatasetBundle::paper();
+    let plan = ExperimentPlan::paper();
+    let variants: Vec<(&str, Box<dyn Fn() -> InductionConfig>)> = vec![
+        ("full model", Box::new(InductionConfig::default)),
+        ("- similarity", Box::new(|| InductionConfig::default().without_similarity())),
+        ("- prior", Box::new(|| InductionConfig::default().without_prior())),
+        ("- smear", Box::new(|| InductionConfig::default().without_smear())),
+        ("- drift", Box::new(|| InductionConfig::default().without_drift())),
+        ("- jitter", Box::new(|| InductionConfig::default().without_jitter())),
+    ];
+
+    println!("Ablation study over the full {}-generation grid\n", plan.num_tasks());
+    let mut table = TextTable::new(vec![
+        "variant", "best R2", "mean R2", "MARE", "copies", "extracted",
+    ]);
+    for (name, cfg) in &variants {
+        let config = cfg();
+        let records = run_plan(&bundle, &plan, |seed| {
+            InductionLm::new(Tokenizer::paper(), config, seed)
+        });
+        let settings = setting_reports(&records);
+        let overall = overall_report(&records, &settings);
+        table.row(vec![
+            name.to_string(),
+            format!("{:+.3}", overall.best.1),
+            format!("{:+.2}", overall.r2.mean),
+            format!("{:.3}", overall.mare.mean),
+            format!("{:.3}", overall.copy_fraction),
+            format!("{}/{}", overall.n_extracted, records.len()),
+        ]);
+    }
+    println!("{}", table.render());
+    println!(
+        "Reading guide: the full model's similarity attention carries whatever\n\
+         accuracy exists (compare row 2); removing the prior inflates exact copying\n\
+         (row 3); removing smearing splits responses into copies-or-noise (row 4)."
+    );
+}

@@ -1,0 +1,112 @@
+//! Figure 3: "When given a curated ICL dataset with minimal edit-distance,
+//! the LLM's responses still cluster around common prefixes of ICL values."
+//!
+//! Reproduces the curated SM setting with 50 in-context examples: builds the
+//! generable-value distribution for each prompt/seed, overlays it with the
+//! ICL value density, and reports how much generated mass falls on the most
+//! common ICL prefixes. CSV: `bench_out/figure3.csv`.
+
+use lmpeel_bench::runs::out_dir;
+use lmpeel_core::decoding::{value_distribution, value_span};
+use lmpeel_core::prompt::PromptBuilder;
+use lmpeel_lm::{generate, GenerateSpec, InductionLm, LanguageModel, Sampler};
+use lmpeel_perfdata::{curated_icl_replicas, DatasetBundle};
+use lmpeel_stats::{Histogram, HistogramSpec};
+use lmpeel_tokenizer::EOS;
+use std::collections::HashMap;
+use std::io::Write;
+
+fn prefix3(v: f64) -> String {
+    // "0.002" -- the value's first fractional digit-group prefix.
+    lmpeel_configspace::text::format_runtime(v)[..5].to_string()
+}
+
+fn main() {
+    let bundle = DatasetBundle::paper();
+    let dataset = &bundle.sm;
+    let sets = curated_icl_replicas(dataset, 50, 5, 1);
+    let builder = PromptBuilder::new(dataset.space().clone(), dataset.size());
+
+    let lo = dataset.summary().min * 0.5;
+    let hi = dataset.summary().max * 1.5;
+    let spec_hist = HistogramSpec::Log { lo, hi, bins: 40 };
+    let mut icl_hist = Histogram::new(spec_hist);
+    let mut gen_hist = Histogram::new(spec_hist);
+    let mut prefix_gen: HashMap<String, f64> = HashMap::new();
+    let mut prefix_icl: HashMap<String, usize> = HashMap::new();
+    let tok = lmpeel_tokenizer::Tokenizer::paper();
+
+    for set in &sets {
+        for &(_, r) in &set.examples {
+            icl_hist.add(r);
+            *prefix_icl.entry(prefix3(r)).or_insert(0) += 1;
+        }
+        for seed in 0..3u64 {
+            let model = InductionLm::paper(seed);
+            let ids = builder.for_icl_set(set).to_tokens(model.tokenizer());
+            let gspec = GenerateSpec {
+                sampler: Sampler::paper(),
+                max_tokens: 24,
+                stop_tokens: vec![
+                    tok.vocab().token_id("\n").unwrap(),
+                    tok.special(EOS),
+                ],
+                trace_min_prob: 1e-4,
+                seed,
+            };
+            let trace = generate(&model, &ids, &gspec);
+            if let Some(span) = value_span(&trace, &tok) {
+                let dist = value_distribution(&trace, span, &tok, 20_000, seed);
+                for &(v, w) in &dist.candidates {
+                    gen_hist.add_weighted(v, w);
+                    *prefix_gen.entry(prefix3(v)).or_insert(0.0) += w;
+                }
+            }
+        }
+    }
+
+    // CSV: bin edges, ICL density, generable density.
+    let dir = out_dir();
+    let path = dir.join("figure3.csv");
+    let mut f = std::fs::File::create(&path).expect("create csv");
+    writeln!(f, "bin_lo,bin_hi,icl_density,generable_density").unwrap();
+    let icl_n = icl_hist.normalized();
+    let gen_n = gen_hist.normalized();
+    for i in 0..spec_hist.bins() {
+        let (blo, bhi) = spec_hist.edges_of(i);
+        writeln!(f, "{blo},{bhi},{},{}", icl_n[i], gen_n[i]).unwrap();
+    }
+
+    println!("Figure 3 reproduction: curated-ICL response clustering (SM, 50 examples)\n");
+    println!("ICL value density (log-spaced bins):");
+    println!("{}", icl_hist.ascii(50));
+    println!("Generable-value probability density:");
+    println!("{}", gen_hist.ascii(50));
+
+    // Quantify the clustering: how much generated mass lands on the top ICL
+    // prefixes?
+    let total_icl: usize = prefix_icl.values().sum();
+    let mut ranked: Vec<(&String, &usize)> = prefix_icl.iter().collect();
+    ranked.sort_by(|a, b| b.1.cmp(a.1));
+    let mut covered = 0.0;
+    println!("top ICL value prefixes vs. generated probability mass:");
+    for (prefix, count) in ranked.iter().take(5) {
+        let mass = prefix_gen.get(*prefix).copied().unwrap_or(0.0)
+            / prefix_gen.values().sum::<f64>();
+        covered += mass;
+        println!(
+            "  {prefix}xx : {:5.1}% of ICL examples, {:5.1}% of generated mass",
+            100.0 * **count as f64 / total_icl as f64,
+            100.0 * mass
+        );
+    }
+    println!(
+        "\ntop-5 ICL prefixes absorb {:.1}% of generated probability mass -> {}",
+        covered * 100.0,
+        path.display()
+    );
+    println!(
+        "Shape check: generation probability peaks where in-context examples are dense\n\
+         (the model parrots common prefixes rather than reasoning about the query)."
+    );
+}

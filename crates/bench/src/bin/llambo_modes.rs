@@ -1,0 +1,92 @@
+//! The other two LLAMBO prompting modes (§II-B), evaluated on the syr2k
+//! datasets: the generative surrogate (N-ary classification) and candidate
+//! sampling (propose a configuration for a target performance). LLAMBO was
+//! evaluated on scikit-learn datasets; the paper notes it "lays a
+//! foundation that can be broadly applied to HPC autotuning" — this binary
+//! applies it.
+
+use lmpeel_bench::TextTable;
+use lmpeel_configspace::ArraySize;
+use lmpeel_core::llambo::{
+    evaluate_classification, propose_candidate, RuntimeBuckets,
+};
+use lmpeel_lm::InductionLm;
+use lmpeel_perfdata::DatasetBundle;
+use lmpeel_stats::{relative_error, seeded_rng, SeedDomain, Welford};
+
+fn main() {
+    let bundle = DatasetBundle::paper();
+    let model = InductionLm::paper(0);
+
+    // --- Generative surrogate: quantile-bucket classification ---
+    println!("LLAMBO generative surrogate: {}-class runtime classification\n", 5);
+    let mut table = TextTable::new(vec![
+        "size", "icl", "accuracy", "chance", "mean class dist", "valid",
+    ]);
+    for size in [ArraySize::SM, ArraySize::XL] {
+        let ds = bundle.for_size(size);
+        let buckets = RuntimeBuckets::from_dataset(ds, 5);
+        for count in [10usize, 50] {
+            let report = evaluate_classification(&model, ds, &buckets, count, 30, 17);
+            table.row(vec![
+                size.to_string(),
+                count.to_string(),
+                format!("{:.2}", report.accuracy),
+                format!("{:.2}", 1.0 / 5.0),
+                format!("{:.2}", report.mean_class_distance),
+                format!("{:.2}", report.valid_fraction),
+            ]);
+        }
+    }
+    println!("{}", table.render());
+
+    // --- Candidate sampling: configurations for target performances ---
+    println!("LLAMBO candidate sampling: propose a configuration for a target runtime\n");
+    let mut table = TextTable::new(vec![
+        "size", "parse rate", "MARE(achieved vs target)", "vs random config",
+    ]);
+    for size in [ArraySize::SM, ArraySize::XL] {
+        let ds = bundle.for_size(size);
+        let space = ds.space();
+        let mut rng = seeded_rng(5, SeedDomain::Custom(0xCA9D));
+        let mut parsed = 0usize;
+        let mut err = Welford::new();
+        let mut rand_err = Welford::new();
+        let trials = 30;
+        for t in 0..trials {
+            let picks = space.sample_distinct(9, &mut rng);
+            let examples: Vec<_> = picks[..8]
+                .iter()
+                .map(|c| (c.clone(), ds.runtime_of(c)))
+                .collect();
+            // Target: the best runtime among the examples (ask for speed).
+            let target = examples
+                .iter()
+                .map(|&(_, r)| r)
+                .fold(f64::INFINITY, f64::min);
+            if let Some(cfg) =
+                propose_candidate(&model, space, size, &examples, target, t as u64)
+            {
+                parsed += 1;
+                err.push(relative_error(ds.runtime_of(&cfg), target).min(1e3));
+            }
+            let random_cfg = &picks[8];
+            rand_err.push(relative_error(ds.runtime_of(random_cfg), target).min(1e3));
+        }
+        table.row(vec![
+            size.to_string(),
+            format!("{parsed}/{trials}"),
+            format!("{:.3}", err.finish().mean),
+            format!("{:.3}", rand_err.finish().mean),
+        ]);
+    }
+    println!("{}", table.render());
+    println!(
+        "Shape checks: classification hovers around chance — bucketing does not\n\
+         rescue the surrogate, consistent with the paper's thesis that the failure\n\
+         is in relating configurations to performance, not in emitting digits.\n\
+         Proposed candidates parse essentially always (format parroting is the\n\
+         model's strength) and edge out a random configuration only slightly —\n\
+         recombination of seen configurations, not design."
+    );
+}

@@ -1,0 +1,14 @@
+//! Shared reporting helpers for the reproduction binaries.
+//!
+//! One binary per paper artifact lives in `src/bin/` (see DESIGN.md's
+//! per-experiment index); criterion micro-benches live in `benches/`. This
+//! library holds the bits they share: aligned text tables, CSV emission,
+//! and the standard experiment-record cache.
+
+#![warn(missing_docs)]
+
+pub mod table;
+
+pub use table::TextTable;
+
+pub mod runs;

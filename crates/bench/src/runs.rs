@@ -1,0 +1,72 @@
+//! Shared experiment execution for the reproduction binaries.
+
+use lmpeel_configspace::ArraySize;
+use lmpeel_core::experiment::{run_plan, ExperimentPlan, PredictionRecord};
+use lmpeel_gbdt::{random_search, SearchResult, SearchSpace};
+use lmpeel_lm::InductionLm;
+use lmpeel_perfdata::{DatasetBundle, PerfDataset};
+
+/// Run the paper's full experiment plan (285 generations) against the
+/// calibrated induction surrogate.
+pub fn paper_records(bundle: &DatasetBundle) -> Vec<PredictionRecord> {
+    run_plan(bundle, &ExperimentPlan::paper(), InductionLm::paper)
+}
+
+/// Train/test protocol of Table I: 80/20 split (seed 42), the first
+/// `n_train` shuffled training rows, randomized hyperparameter search with
+/// an internal 80/20 train/validation split, scored on the held-out test
+/// rows. Returns `(search result, test predictions, test truths)`.
+pub fn table1_fit(
+    dataset: &PerfDataset,
+    n_train: usize,
+    search_iters: usize,
+) -> (SearchResult, Vec<f64>, Vec<f64>) {
+    let (train_idx, test_idx) = dataset.train_test_split(0.8, 42);
+    let n = n_train.min(train_idx.len());
+    let subset = &train_idx[..n];
+    let (xs, ys) = dataset.features_for(subset);
+    let cut = (n * 4) / 5;
+    let result = random_search(
+        &xs[..cut],
+        &ys[..cut],
+        &xs[cut..],
+        &ys[cut..],
+        SearchSpace { n_estimators: (50, 400), ..Default::default() },
+        search_iters,
+        7,
+    );
+    let (test_x, test_y) = dataset.features_for(&test_idx);
+    let pred = result.model.predict(&test_x);
+    (result, pred, test_y)
+}
+
+/// Paper-reported Table I reference values: `(train, size, r2, mare, msre)`.
+pub const TABLE1_PAPER: [(usize, ArraySize, f64, f64, f64); 10] = [
+    (100, ArraySize::SM, 0.44, 0.17, 0.073),
+    (100, ArraySize::XL, 0.69, 0.13, 0.058),
+    (500, ArraySize::SM, 0.67, 0.12, 0.038),
+    (500, ArraySize::XL, 0.87, 0.09, 0.036),
+    (1000, ArraySize::SM, 0.72, 0.11, 0.025),
+    (1000, ArraySize::XL, 0.88, 0.07, 0.027),
+    (5000, ArraySize::SM, 0.80, 0.09, 0.015),
+    (5000, ArraySize::XL, 0.97, 0.04, 0.007),
+    (8519, ArraySize::SM, 0.80, 0.08, 0.013),
+    (8519, ArraySize::XL, 0.98, 0.04, 0.003),
+];
+
+/// Output directory for CSV artifacts, created on demand.
+pub fn out_dir() -> std::path::PathBuf {
+    let dir = std::path::PathBuf::from("bench_out");
+    std::fs::create_dir_all(&dir).expect("create bench_out/");
+    dir
+}
+
+/// Parse `--iters N`-style integer flags from argv, with a default.
+pub fn arg_flag(name: &str, default: usize) -> usize {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}

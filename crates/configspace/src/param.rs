@@ -1,0 +1,251 @@
+//! Parameter definitions and configuration values.
+//!
+//! A [`ParamDef`] describes one tunable component; a [`Config`] is one point
+//! in the cross product of all components. Values are stored by *choice
+//! index* internally (which makes the mixed-radix bijection in
+//! [`crate::space`] trivial) and exposed as typed [`ParamValue`]s.
+
+use serde::{Deserialize, Serialize};
+
+/// Definition of a single tunable parameter.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ParamDef {
+    /// A boolean flag (choice indices: 0 = false, 1 = true).
+    Bool {
+        /// Parameter name as used in prompts and CSV headers.
+        name: String,
+    },
+    /// An ordered integer parameter with an explicit candidate list.
+    Ordinal {
+        /// Parameter name as used in prompts and CSV headers.
+        name: String,
+        /// Candidate values in ascending order.
+        choices: Vec<i64>,
+    },
+    /// An unordered categorical parameter with string levels.
+    Categorical {
+        /// Parameter name as used in prompts and CSV headers.
+        name: String,
+        /// Candidate levels.
+        choices: Vec<String>,
+    },
+}
+
+impl ParamDef {
+    /// Convenience constructor for a boolean parameter.
+    pub fn boolean(name: &str) -> Self {
+        ParamDef::Bool { name: name.to_string() }
+    }
+
+    /// Convenience constructor for an ordinal parameter.
+    ///
+    /// # Panics
+    /// Panics if `choices` is empty or not strictly ascending.
+    pub fn ordinal(name: &str, choices: &[i64]) -> Self {
+        assert!(!choices.is_empty(), "ordinal parameter needs choices");
+        assert!(
+            choices.windows(2).all(|w| w[0] < w[1]),
+            "ordinal choices must be strictly ascending"
+        );
+        ParamDef::Ordinal { name: name.to_string(), choices: choices.to_vec() }
+    }
+
+    /// Convenience constructor for a categorical parameter.
+    ///
+    /// # Panics
+    /// Panics if `choices` is empty.
+    pub fn categorical(name: &str, choices: &[&str]) -> Self {
+        assert!(!choices.is_empty(), "categorical parameter needs choices");
+        ParamDef::Categorical {
+            name: name.to_string(),
+            choices: choices.iter().map(|s| s.to_string()).collect(),
+        }
+    }
+
+    /// Parameter name.
+    pub fn name(&self) -> &str {
+        match self {
+            ParamDef::Bool { name }
+            | ParamDef::Ordinal { name, .. }
+            | ParamDef::Categorical { name, .. } => name,
+        }
+    }
+
+    /// Number of distinct choices.
+    pub fn cardinality(&self) -> usize {
+        match self {
+            ParamDef::Bool { .. } => 2,
+            ParamDef::Ordinal { choices, .. } => choices.len(),
+            ParamDef::Categorical { choices, .. } => choices.len(),
+        }
+    }
+
+    /// Typed value for a choice index.
+    ///
+    /// # Panics
+    /// Panics if `idx` is out of range.
+    pub fn value_of(&self, idx: usize) -> ParamValue {
+        assert!(idx < self.cardinality(), "choice index {idx} out of range for {}", self.name());
+        match self {
+            ParamDef::Bool { .. } => ParamValue::Bool(idx == 1),
+            ParamDef::Ordinal { choices, .. } => ParamValue::Int(choices[idx]),
+            ParamDef::Categorical { choices, .. } => ParamValue::Cat(choices[idx].clone()),
+        }
+    }
+
+    /// Choice index for a typed value, or `None` if the value is not a
+    /// member of this parameter's domain.
+    pub fn index_of(&self, value: &ParamValue) -> Option<usize> {
+        match (self, value) {
+            (ParamDef::Bool { .. }, ParamValue::Bool(b)) => Some(usize::from(*b)),
+            (ParamDef::Ordinal { choices, .. }, ParamValue::Int(v)) => {
+                choices.iter().position(|c| c == v)
+            }
+            (ParamDef::Categorical { choices, .. }, ParamValue::Cat(s)) => {
+                choices.iter().position(|c| c == s)
+            }
+            _ => None,
+        }
+    }
+
+    /// Numeric feature encoding of a choice index for tree/regression models:
+    /// booleans → 0/1, ordinals → the integer value, categoricals → the
+    /// level index.
+    pub fn feature_of(&self, idx: usize) -> f64 {
+        match self {
+            ParamDef::Bool { .. } => idx as f64,
+            ParamDef::Ordinal { choices, .. } => choices[idx] as f64,
+            ParamDef::Categorical { .. } => idx as f64,
+        }
+    }
+}
+
+/// A typed parameter value.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ParamValue {
+    /// Boolean flag value.
+    Bool(bool),
+    /// Ordinal integer value.
+    Int(i64),
+    /// Categorical level.
+    Cat(String),
+}
+
+impl std::fmt::Display for ParamValue {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            // Python-style True/False, matching the paper's Figure 1 prompts.
+            ParamValue::Bool(true) => write!(f, "True"),
+            ParamValue::Bool(false) => write!(f, "False"),
+            ParamValue::Int(v) => write!(f, "{v}"),
+            ParamValue::Cat(s) => write!(f, "{s}"),
+        }
+    }
+}
+
+/// One point in a configuration space, stored as per-parameter choice
+/// indices. Only meaningful together with the [`crate::space::ConfigSpace`]
+/// that created it.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Config {
+    choices: Vec<u16>,
+}
+
+impl Config {
+    /// Build from raw choice indices.
+    pub fn from_choices(choices: Vec<u16>) -> Self {
+        Self { choices }
+    }
+
+    /// Raw choice indices, one per parameter.
+    pub fn choices(&self) -> &[u16] {
+        &self.choices
+    }
+
+    /// Number of parameters.
+    pub fn len(&self) -> usize {
+        self.choices.len()
+    }
+
+    /// Whether the configuration has no parameters.
+    pub fn is_empty(&self) -> bool {
+        self.choices.is_empty()
+    }
+
+    /// Choice index of parameter `i`.
+    pub fn choice(&self, i: usize) -> usize {
+        self.choices[i] as usize
+    }
+
+    /// Replace the choice of parameter `i`, returning a new configuration.
+    pub fn with_choice(&self, i: usize, choice: u16) -> Self {
+        let mut c = self.clone();
+        c.choices[i] = choice;
+        c
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bool_param_roundtrip() {
+        let p = ParamDef::boolean("flag");
+        assert_eq!(p.cardinality(), 2);
+        assert_eq!(p.value_of(0), ParamValue::Bool(false));
+        assert_eq!(p.value_of(1), ParamValue::Bool(true));
+        assert_eq!(p.index_of(&ParamValue::Bool(true)), Some(1));
+        assert_eq!(p.index_of(&ParamValue::Int(3)), None);
+    }
+
+    #[test]
+    fn ordinal_param_roundtrip() {
+        let p = ParamDef::ordinal("tile", &[4, 8, 16]);
+        assert_eq!(p.cardinality(), 3);
+        assert_eq!(p.value_of(2), ParamValue::Int(16));
+        assert_eq!(p.index_of(&ParamValue::Int(8)), Some(1));
+        assert_eq!(p.index_of(&ParamValue::Int(5)), None);
+        assert_eq!(p.feature_of(1), 8.0);
+    }
+
+    #[test]
+    fn categorical_param_roundtrip() {
+        let p = ParamDef::categorical("size", &["S", "SM", "M"]);
+        assert_eq!(p.value_of(1), ParamValue::Cat("SM".into()));
+        assert_eq!(p.index_of(&ParamValue::Cat("M".into())), Some(2));
+        assert_eq!(p.feature_of(2), 2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly ascending")]
+    fn ordinal_rejects_unsorted_choices() {
+        let _ = ParamDef::ordinal("bad", &[4, 4, 8]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn value_of_out_of_range_panics() {
+        let p = ParamDef::boolean("flag");
+        let _ = p.value_of(2);
+    }
+
+    #[test]
+    fn display_uses_python_booleans() {
+        assert_eq!(ParamValue::Bool(true).to_string(), "True");
+        assert_eq!(ParamValue::Bool(false).to_string(), "False");
+        assert_eq!(ParamValue::Int(80).to_string(), "80");
+        assert_eq!(ParamValue::Cat("XL".into()).to_string(), "XL");
+    }
+
+    #[test]
+    fn config_with_choice_is_persistent() {
+        let c = Config::from_choices(vec![0, 1, 2]);
+        let d = c.with_choice(1, 5);
+        assert_eq!(c.choice(1), 1, "original untouched");
+        assert_eq!(d.choice(1), 5);
+        assert_eq!(d.choice(0), 0);
+        assert_eq!(c.len(), 3);
+        assert!(!c.is_empty());
+    }
+}

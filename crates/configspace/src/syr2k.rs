@@ -1,0 +1,187 @@
+//! The canonical syr2k tuning space from the paper.
+//!
+//! Six tunables (Figure 1 / Algorithm 1):
+//!
+//! * `first_array_packed` — optionally pack (prefetch-copy) array `A`;
+//! * `second_array_packed` — optionally pack array `B`;
+//! * `interchange_first_two_loops` — optionally interchange the outermost
+//!   two loops of the nest;
+//! * `outer_loop_tiling_factor`, `middle_loop_tiling_factor`,
+//!   `inner_loop_tiling_factor` — tile sizes for the three loops, each drawn
+//!   from the same eleven candidates.
+//!
+//! `2 × 2 × 2 × 11³ = 10,648` configurations, matching the paper's
+//! exhaustive dataset.
+
+use crate::param::{Config, ParamDef, ParamValue};
+use crate::space::ConfigSpace;
+use serde::{Deserialize, Serialize};
+
+/// The eleven candidate tile sizes (Polly/ytopt-style powers of two plus
+/// cache-line-friendly in-between values; includes every tile value visible
+/// in the paper's Figure 1 examples: 64, 80, 100, 128).
+pub const TILE_CANDIDATES: [i64; 11] = [4, 8, 16, 20, 32, 50, 64, 80, 96, 100, 128];
+
+/// Canonical parameter names, in declaration order.
+pub const PARAM_NAMES: [&str; 6] = [
+    "first_array_packed",
+    "second_array_packed",
+    "interchange_first_two_loops",
+    "outer_loop_tiling_factor",
+    "middle_loop_tiling_factor",
+    "inner_loop_tiling_factor",
+];
+
+/// Build the canonical syr2k configuration space.
+pub fn syr2k_space() -> ConfigSpace {
+    ConfigSpace::new(vec![
+        ParamDef::boolean(PARAM_NAMES[0]),
+        ParamDef::boolean(PARAM_NAMES[1]),
+        ParamDef::boolean(PARAM_NAMES[2]),
+        ParamDef::ordinal(PARAM_NAMES[3], &TILE_CANDIDATES),
+        ParamDef::ordinal(PARAM_NAMES[4], &TILE_CANDIDATES),
+        ParamDef::ordinal(PARAM_NAMES[5], &TILE_CANDIDATES),
+    ])
+}
+
+/// Typed view of a syr2k configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Syr2kConfig {
+    /// Pack array `A` before the nest.
+    pub pack_a: bool,
+    /// Pack array `B` before the nest.
+    pub pack_b: bool,
+    /// Interchange the outermost two loops.
+    pub interchange: bool,
+    /// Tile size of the outer loop.
+    pub tile_outer: i64,
+    /// Tile size of the middle loop.
+    pub tile_middle: i64,
+    /// Tile size of the inner loop.
+    pub tile_inner: i64,
+}
+
+impl Syr2kConfig {
+    /// Decode from a generic [`Config`] belonging to [`syr2k_space`].
+    ///
+    /// # Panics
+    /// Panics if the configuration does not belong to the syr2k space.
+    pub fn from_config(space: &ConfigSpace, config: &Config) -> Self {
+        let get_bool = |i: usize| match space.value(config, i) {
+            ParamValue::Bool(b) => b,
+            v => panic!("expected bool at parameter {i}, got {v:?}"),
+        };
+        let get_int = |i: usize| match space.value(config, i) {
+            ParamValue::Int(v) => v,
+            v => panic!("expected int at parameter {i}, got {v:?}"),
+        };
+        Self {
+            pack_a: get_bool(0),
+            pack_b: get_bool(1),
+            interchange: get_bool(2),
+            tile_outer: get_int(3),
+            tile_middle: get_int(4),
+            tile_inner: get_int(5),
+        }
+    }
+
+    /// Encode into a generic [`Config`] for [`syr2k_space`].
+    ///
+    /// # Panics
+    /// Panics if a tile size is not one of [`TILE_CANDIDATES`].
+    pub fn to_config(self, space: &ConfigSpace) -> Config {
+        space.config_from_values(&[
+            ParamValue::Bool(self.pack_a),
+            ParamValue::Bool(self.pack_b),
+            ParamValue::Bool(self.interchange),
+            ParamValue::Int(self.tile_outer),
+            ParamValue::Int(self.tile_middle),
+            ParamValue::Int(self.tile_inner),
+        ])
+    }
+
+    /// All tile sizes as a tuple `(outer, middle, inner)`.
+    pub fn tiles(self) -> (i64, i64, i64) {
+        (self.tile_outer, self.tile_middle, self.tile_inner)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cardinality_matches_paper() {
+        assert_eq!(syr2k_space().cardinality(), 10_648);
+    }
+
+    #[test]
+    fn paper_figure1_tiles_are_candidates() {
+        for t in [80, 64, 100, 128] {
+            assert!(TILE_CANDIDATES.contains(&t), "{t} missing");
+        }
+    }
+
+    #[test]
+    fn typed_roundtrip_everywhere() {
+        let space = syr2k_space();
+        for i in (0..space.cardinality()).step_by(97) {
+            let c = space.config_at(i);
+            let typed = Syr2kConfig::from_config(&space, &c);
+            assert_eq!(typed.to_config(&space), c);
+        }
+    }
+
+    #[test]
+    fn figure1_icl_example_encodes() {
+        // "first_array_packed is True, second_array_packed is False,
+        //  interchange_first_two_loops is False, outer 80, middle 64, inner 100"
+        let space = syr2k_space();
+        let typed = Syr2kConfig {
+            pack_a: true,
+            pack_b: false,
+            interchange: false,
+            tile_outer: 80,
+            tile_middle: 64,
+            tile_inner: 100,
+        };
+        let c = typed.to_config(&space);
+        assert_eq!(Syr2kConfig::from_config(&space, &c), typed);
+    }
+
+    #[test]
+    fn param_names_match_space() {
+        let space = syr2k_space();
+        for (i, name) in PARAM_NAMES.iter().enumerate() {
+            assert_eq!(space.params()[i].name(), *name);
+        }
+    }
+
+    #[test]
+    fn featurize_exposes_tile_magnitudes() {
+        let space = syr2k_space();
+        let typed = Syr2kConfig {
+            pack_a: false,
+            pack_b: true,
+            interchange: false,
+            tile_outer: 128,
+            tile_middle: 4,
+            tile_inner: 50,
+        };
+        let f = space.featurize(&typed.to_config(&space));
+        assert_eq!(f, vec![0.0, 1.0, 0.0, 128.0, 4.0, 50.0]);
+    }
+
+    #[test]
+    fn tiles_accessor() {
+        let t = Syr2kConfig {
+            pack_a: false,
+            pack_b: false,
+            interchange: true,
+            tile_outer: 8,
+            tile_middle: 16,
+            tile_inner: 32,
+        };
+        assert_eq!(t.tiles(), (8, 16, 32));
+    }
+}

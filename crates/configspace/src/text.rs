@@ -1,0 +1,303 @@
+//! Natural-language and CSV serialization of configurations.
+//!
+//! The paper presents performance data "in a natural language format" and in
+//! a "feature-rich text-based CSV format" (Figure 1). The exact line shapes
+//! are:
+//!
+//! ```text
+//! Hyperparameter configuration: size is SM, first_array_packed is True, ...
+//! Performance: 0.0022155
+//! ```
+//!
+//! This module produces those strings and parses them back (the parse side
+//! backs the "manual identification of relevant portions of outputs"
+//! machinery in `lmpeel-core`).
+
+use crate::param::{Config, ParamValue};
+use crate::size::ArraySize;
+use crate::space::ConfigSpace;
+
+/// Number of decimal places used for runtime values in prompts.
+///
+/// The Figure 1 example shows `0.0022155` — seven decimal places — and the
+/// token-position analysis of Table II depends on this width.
+pub const RUNTIME_DECIMALS: usize = 7;
+
+/// Format a runtime in seconds exactly as the prompts do.
+pub fn format_runtime(secs: f64) -> String {
+    format!("{secs:.RUNTIME_DECIMALS$}")
+}
+
+/// Value rendering styles for prompts. The paper's prompts use plain
+/// decimals; §V-B hypothesizes that scientific notation, while a "stable
+/// output format", "often makes the prefixes of values *less* similar,
+/// which our results indicate may *harm* the model's ability to generate
+/// useful answers" — the `format_study` binary tests exactly that.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ValueFormat {
+    /// Plain decimal with [`RUNTIME_DECIMALS`] places (Figure 1).
+    #[default]
+    Decimal,
+    /// Normalized scientific notation, `m.mmmmmmme-x` with a 7-decimal
+    /// mantissa in `[1, 10)`.
+    Scientific,
+}
+
+/// Format a runtime under a [`ValueFormat`].
+pub fn format_value(secs: f64, format: ValueFormat) -> String {
+    match format {
+        ValueFormat::Decimal => format_runtime(secs),
+        ValueFormat::Scientific => {
+            assert!(secs > 0.0, "scientific format requires a positive value");
+            let exp = secs.log10().floor() as i32;
+            let mantissa = secs / 10f64.powi(exp);
+            format!("{mantissa:.RUNTIME_DECIMALS$}e{exp}")
+        }
+    }
+}
+
+/// Format a runtime with an explicit decimal width.
+pub fn format_runtime_with(secs: f64, decimals: usize) -> String {
+    format!("{secs:.decimals$}")
+}
+
+/// The `Hyperparameter configuration: ...` line for a configuration.
+///
+/// The size is listed first and is not tunable; tunables follow in space
+/// declaration order, each as `name is value`.
+pub fn nl_config_line(space: &ConfigSpace, config: &Config, size: ArraySize) -> String {
+    let mut parts = Vec::with_capacity(space.num_params() + 1);
+    parts.push(format!("size is {}", size.label()));
+    for (i, p) in space.params().iter().enumerate() {
+        parts.push(format!("{} is {}", p.name(), space.value(config, i)));
+    }
+    format!("Hyperparameter configuration: {}", parts.join(", "))
+}
+
+/// A full in-context example: configuration line plus `Performance:` line.
+pub fn nl_example(space: &ConfigSpace, config: &Config, size: ArraySize, runtime: f64) -> String {
+    format!(
+        "{}\nPerformance: {}",
+        nl_config_line(space, config, size),
+        format_runtime(runtime)
+    )
+}
+
+/// The query form of an example: configuration line plus a dangling
+/// `Performance:` for the model to complete.
+pub fn nl_query(space: &ConfigSpace, config: &Config, size: ArraySize) -> String {
+    format!("{}\nPerformance:", nl_config_line(space, config, size))
+}
+
+/// CSV header: `size` followed by parameter names and `runtime`.
+pub fn csv_header(space: &ConfigSpace) -> String {
+    let mut cols = vec!["size".to_string()];
+    cols.extend(space.params().iter().map(|p| p.name().to_string()));
+    cols.push("runtime".to_string());
+    cols.join(",")
+}
+
+/// One CSV row matching [`csv_header`].
+pub fn csv_row(space: &ConfigSpace, config: &Config, size: ArraySize, runtime: f64) -> String {
+    let mut cols = vec![size.label().to_string()];
+    for (i, _) in space.params().iter().enumerate() {
+        cols.push(space.value(config, i).to_string());
+    }
+    cols.push(format_runtime(runtime));
+    cols.join(",")
+}
+
+/// Parse one `name is value` fragment against a parameter's domain.
+fn parse_value(space: &ConfigSpace, name: &str, raw: &str) -> Option<(usize, u16)> {
+    let i = space.param_index(name)?;
+    let p = &space.params()[i];
+    let v = match raw {
+        "True" => ParamValue::Bool(true),
+        "False" => ParamValue::Bool(false),
+        other => {
+            if let Ok(n) = other.parse::<i64>() {
+                ParamValue::Int(n)
+            } else {
+                ParamValue::Cat(other.to_string())
+            }
+        }
+    };
+    p.index_of(&v).map(|c| (i, c as u16))
+}
+
+/// Parse a `Hyperparameter configuration:` line back into a size and
+/// configuration. Whitespace around commas is tolerated (the paper's own
+/// Figure 1 mixes `, ` and `,`). Returns `None` on any missing or
+/// out-of-domain component.
+pub fn parse_nl_config(space: &ConfigSpace, line: &str) -> Option<(ArraySize, Config)> {
+    let rest = line.trim().strip_prefix("Hyperparameter configuration:")?;
+    let mut size: Option<ArraySize> = None;
+    let mut choices: Vec<Option<u16>> = vec![None; space.num_params()];
+    for frag in rest.split(',') {
+        let frag = frag.trim();
+        if frag.is_empty() {
+            continue;
+        }
+        let (name, value) = frag.split_once(" is ")?;
+        let (name, value) = (name.trim(), value.trim());
+        if name == "size" {
+            size = ArraySize::parse(value);
+            size?;
+        } else {
+            let (i, c) = parse_value(space, name, value)?;
+            choices[i] = Some(c);
+        }
+    }
+    let choices: Option<Vec<u16>> = choices.into_iter().collect();
+    Some((size?, Config::from_choices(choices?)))
+}
+
+/// Extract the numeric value from a `Performance: <number>` line; tolerant
+/// of leading/trailing junk on the number side, as LLM outputs often carry
+/// trailing prose.
+pub fn parse_performance(line: &str) -> Option<f64> {
+    let rest = line.trim().strip_prefix("Performance:")?.trim();
+    // Take the longest prefix that parses as a decimal number.
+    let mut end = 0;
+    let bytes = rest.as_bytes();
+    let mut seen_dot = false;
+    while end < bytes.len() {
+        let b = bytes[end];
+        if b.is_ascii_digit() {
+            end += 1;
+        } else if b == b'.' && !seen_dot {
+            seen_dot = true;
+            end += 1;
+        } else {
+            break;
+        }
+    }
+    if end == 0 {
+        return None;
+    }
+    rest[..end].parse::<f64>().ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::syr2k::{syr2k_space, Syr2kConfig};
+
+    #[test]
+    fn runtime_format_matches_figure1() {
+        assert_eq!(format_runtime(0.0022155), "0.0022155");
+        assert_eq!(format_runtime(2.5), "2.5000000");
+        assert_eq!(format_runtime_with(2.5, 2), "2.50");
+    }
+
+    #[test]
+    fn figure1_line_is_reproduced_exactly() {
+        let space = syr2k_space();
+        let cfg = Syr2kConfig {
+            pack_a: true,
+            pack_b: false,
+            interchange: false,
+            tile_outer: 80,
+            tile_middle: 64,
+            tile_inner: 100,
+        }
+        .to_config(&space);
+        let line = nl_config_line(&space, &cfg, ArraySize::SM);
+        assert_eq!(
+            line,
+            "Hyperparameter configuration: size is SM, first_array_packed is True, \
+             second_array_packed is False, interchange_first_two_loops is False, \
+             outer_loop_tiling_factor is 80, middle_loop_tiling_factor is 64, \
+             inner_loop_tiling_factor is 100"
+        );
+    }
+
+    #[test]
+    fn nl_example_and_query_shapes() {
+        let space = syr2k_space();
+        let cfg = space.config_at(0);
+        let ex = nl_example(&space, &cfg, ArraySize::SM, 0.0022155);
+        assert!(ex.ends_with("Performance: 0.0022155"));
+        let q = nl_query(&space, &cfg, ArraySize::SM);
+        assert!(q.ends_with("Performance:"));
+    }
+
+    #[test]
+    fn nl_roundtrip_everywhere() {
+        let space = syr2k_space();
+        for i in (0..space.cardinality()).step_by(131) {
+            let cfg = space.config_at(i);
+            for size in ArraySize::PAPER_SIZES {
+                let line = nl_config_line(&space, &cfg, size);
+                let (s2, c2) = parse_nl_config(&space, &line).expect("parse back");
+                assert_eq!(s2, size);
+                assert_eq!(c2, cfg);
+            }
+        }
+    }
+
+    #[test]
+    fn parse_tolerates_sloppy_spacing() {
+        // Figure 1's own query line omits spaces after some commas.
+        let space = syr2k_space();
+        let line = "Hyperparameter configuration: size is SM, first_array_packed is False, \
+                    second_array_packed is True, interchange_first_two_loops is False,\
+                    outer_loop_tiling_factor is 128,middle_loop_tiling_factor is 80, \
+                    inner_loop_tiling_factor is 80";
+        let (size, cfg) = parse_nl_config(&space, line).expect("should parse");
+        assert_eq!(size, ArraySize::SM);
+        let typed = Syr2kConfig::from_config(&space, &cfg);
+        assert!(!typed.pack_a && typed.pack_b && !typed.interchange);
+        assert_eq!(typed.tiles(), (128, 80, 80));
+    }
+
+    #[test]
+    fn parse_rejects_bad_lines() {
+        let space = syr2k_space();
+        assert_eq!(parse_nl_config(&space, "not a config"), None);
+        assert_eq!(
+            parse_nl_config(&space, "Hyperparameter configuration: size is QQ"),
+            None,
+            "unknown size"
+        );
+        assert_eq!(
+            parse_nl_config(
+                &space,
+                "Hyperparameter configuration: size is SM, first_array_packed is True"
+            ),
+            None,
+            "missing parameters"
+        );
+        let line = "Hyperparameter configuration: size is SM, first_array_packed is True, \
+                    second_array_packed is False, interchange_first_two_loops is False, \
+                    outer_loop_tiling_factor is 81, middle_loop_tiling_factor is 64, \
+                    inner_loop_tiling_factor is 100";
+        assert_eq!(parse_nl_config(&space, line), None, "81 is not a candidate tile");
+    }
+
+    #[test]
+    fn parse_performance_variants() {
+        assert_eq!(parse_performance("Performance: 0.0022155"), Some(0.0022155));
+        assert_eq!(parse_performance("  Performance: 2.5"), Some(2.5));
+        assert_eq!(
+            parse_performance("Performance: 1.75 seconds, approximately"),
+            Some(1.75),
+            "trailing prose tolerated"
+        );
+        assert_eq!(parse_performance("Performance: fast"), None);
+        assert_eq!(parse_performance("Perf: 1.0"), None);
+        assert_eq!(parse_performance("Performance: 1.2.3"), Some(1.2), "second dot stops parse");
+    }
+
+    #[test]
+    fn csv_roundtrip_shape() {
+        let space = syr2k_space();
+        let header = csv_header(&space);
+        assert!(header.starts_with("size,first_array_packed"));
+        assert!(header.ends_with("runtime"));
+        let row = csv_row(&space, &space.config_at(7), ArraySize::XL, 3.25);
+        assert_eq!(row.split(',').count(), header.split(',').count());
+        assert!(row.starts_with("XL,"));
+        assert!(row.ends_with("3.2500000"));
+    }
+}

@@ -1,0 +1,403 @@
+//! Surrogate-driven autotuners.
+//!
+//! The paper's framing: "Autotuning provides a systematic approach to
+//! optimizing performance by evaluating a small subset of configurations on
+//! the target platform." This module provides the search loop those
+//! surrogates plug into, evaluated against a [`PerfDataset`] standing in
+//! for empirical measurement:
+//!
+//! * [`RandomSearch`] — the no-model baseline;
+//! * [`GbdtSearch`] — a Bayesian-optimization-style loop with the
+//!   boosted-tree surrogate (fit on observations, rank a candidate pool,
+//!   evaluate the most promising candidate);
+//! * [`LlmSearch`] — the same loop with the LLM discriminative surrogate:
+//!   observations become in-context examples and each candidate is scored
+//!   by a generated runtime prediction (the LLAMBO recipe applied to HPC
+//!   autotuning).
+
+use crate::extract::extract_value;
+use crate::prompt::PromptBuilder;
+use lmpeel_configspace::Config;
+use lmpeel_gbdt::{Gbdt, GbdtParams};
+use lmpeel_lm::{generate, GenerateSpec, LanguageModel, Sampler};
+use lmpeel_perfdata::PerfDataset;
+use lmpeel_stats::{seeded_rng, SeedDomain};
+use lmpeel_tokenizer::EOS;
+
+/// One tuning run: every evaluated configuration in order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TuningTrajectory {
+    /// `(configuration, measured runtime)` in evaluation order.
+    pub evaluated: Vec<(Config, f64)>,
+}
+
+impl TuningTrajectory {
+    /// Best runtime found within the first `k` evaluations.
+    ///
+    /// # Panics
+    /// Panics if `k == 0` or exceeds the trajectory length.
+    pub fn best_after(&self, k: usize) -> f64 {
+        assert!(k > 0 && k <= self.evaluated.len(), "k out of range");
+        self.evaluated[..k]
+            .iter()
+            .map(|&(_, r)| r)
+            .fold(f64::INFINITY, f64::min)
+    }
+
+    /// Best-so-far curve (length = number of evaluations).
+    pub fn best_curve(&self) -> Vec<f64> {
+        let mut best = f64::INFINITY;
+        self.evaluated
+            .iter()
+            .map(|&(_, r)| {
+                best = best.min(r);
+                best
+            })
+            .collect()
+    }
+
+    /// The best configuration and runtime found.
+    ///
+    /// # Panics
+    /// Panics on an empty trajectory.
+    pub fn best(&self) -> (&Config, f64) {
+        self.evaluated
+            .iter()
+            .map(|(c, r)| (c, *r))
+            .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+            .expect("non-empty trajectory")
+    }
+}
+
+/// A search strategy over a performance dataset.
+pub trait Tuner {
+    /// Strategy name for reports.
+    fn name(&self) -> String;
+
+    /// Evaluate `budget` configurations, returning the trajectory.
+    fn run(&self, dataset: &PerfDataset, budget: usize, seed: u64) -> TuningTrajectory;
+}
+
+/// Uniform random search.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RandomSearch;
+
+impl Tuner for RandomSearch {
+    fn name(&self) -> String {
+        "random-search".into()
+    }
+
+    fn run(&self, dataset: &PerfDataset, budget: usize, seed: u64) -> TuningTrajectory {
+        let mut rng = seeded_rng(seed, SeedDomain::Custom(0x7A11));
+        let configs = dataset.space().sample_distinct(budget, &mut rng);
+        TuningTrajectory {
+            evaluated: configs
+                .into_iter()
+                .map(|c| {
+                    let r = dataset.runtime_of(&c);
+                    (c, r)
+                })
+                .collect(),
+        }
+    }
+}
+
+/// Boosted-tree surrogate search: seed with random evaluations, then
+/// repeatedly fit the surrogate and evaluate the pool candidate with the
+/// best predicted runtime.
+#[derive(Debug, Clone, Copy)]
+pub struct GbdtSearch {
+    /// Random evaluations before the surrogate activates.
+    pub init_random: usize,
+    /// Candidate pool size per iteration.
+    pub pool: usize,
+}
+
+impl Default for GbdtSearch {
+    fn default() -> Self {
+        Self { init_random: 8, pool: 256 }
+    }
+}
+
+impl Tuner for GbdtSearch {
+    fn name(&self) -> String {
+        format!("gbdt-surrogate(init={}, pool={})", self.init_random, self.pool)
+    }
+
+    fn run(&self, dataset: &PerfDataset, budget: usize, seed: u64) -> TuningTrajectory {
+        let space = dataset.space();
+        let mut rng = seeded_rng(seed, SeedDomain::Custom(0x6BD7));
+        let mut evaluated: Vec<(Config, f64)> = Vec::with_capacity(budget);
+        let mut seen = std::collections::HashSet::new();
+        for c in space.sample_distinct(self.init_random.min(budget), &mut rng) {
+            seen.insert(space.index_of(&c));
+            let r = dataset.runtime_of(&c);
+            evaluated.push((c, r));
+        }
+        while evaluated.len() < budget {
+            let xs: Vec<Vec<f64>> =
+                evaluated.iter().map(|(c, _)| space.featurize(c)).collect();
+            let ys: Vec<f64> = evaluated.iter().map(|&(_, r)| r).collect();
+            let params = GbdtParams {
+                n_estimators: 120,
+                learning_rate: 0.1,
+                ..Default::default()
+            };
+            let model = Gbdt::fit(&xs, &ys, params, seed);
+            // Rank a random pool, evaluate the best unseen candidate.
+            let pool = space.sample_distinct(self.pool, &mut rng);
+            let best = pool
+                .into_iter()
+                .filter(|c| !seen.contains(&space.index_of(c)))
+                .min_by(|a, b| {
+                    let pa = model.predict_row(&space.featurize(a));
+                    let pb = model.predict_row(&space.featurize(b));
+                    pa.partial_cmp(&pb).unwrap()
+                });
+            let Some(c) = best else { break };
+            seen.insert(space.index_of(&c));
+            let r = dataset.runtime_of(&c);
+            evaluated.push((c, r));
+        }
+        TuningTrajectory { evaluated }
+    }
+}
+
+/// LLM discriminative-surrogate search: observations become ICL examples;
+/// each iteration scores a small candidate set by generated runtime
+/// predictions and evaluates the minimum.
+pub struct LlmSearch<M> {
+    /// The language model used as surrogate.
+    pub model: M,
+    /// Random evaluations before the surrogate activates.
+    pub init_random: usize,
+    /// Candidates scored per iteration (each costs one generation).
+    pub pool: usize,
+    /// Most recent observations used as in-context examples.
+    pub max_icl: usize,
+}
+
+impl<M: LanguageModel> LlmSearch<M> {
+    fn predict(&self, builder: &PromptBuilder, examples: &[(Config, f64)], cand: &Config, seed: u64) -> f64 {
+        let prompt = builder.discriminative(examples, cand);
+        let t = self.model.tokenizer();
+        let ids = prompt.to_tokens(t);
+        let spec = GenerateSpec {
+            sampler: Sampler::paper(),
+            max_tokens: 16,
+            stop_tokens: vec![t.vocab().token_id("\n").expect("newline"), t.special(EOS)],
+            trace_min_prob: 1e-4,
+            seed,
+        };
+        let trace = generate(&self.model, &ids, &spec);
+        extract_value(&trace.decode(t))
+            .map(|(v, _)| v)
+            .unwrap_or(f64::INFINITY)
+    }
+}
+
+impl<M: LanguageModel> Tuner for LlmSearch<M> {
+    fn name(&self) -> String {
+        format!("llm-surrogate({})", self.model.name())
+    }
+
+    fn run(&self, dataset: &PerfDataset, budget: usize, seed: u64) -> TuningTrajectory {
+        let space = dataset.space();
+        let builder = PromptBuilder::new(space.clone(), dataset.size());
+        let mut rng = seeded_rng(seed, SeedDomain::Custom(0x11A4));
+        let mut evaluated: Vec<(Config, f64)> = Vec::with_capacity(budget);
+        let mut seen = std::collections::HashSet::new();
+        for c in space.sample_distinct(self.init_random.min(budget), &mut rng) {
+            seen.insert(space.index_of(&c));
+            let r = dataset.runtime_of(&c);
+            evaluated.push((c, r));
+        }
+        let mut step = 0u64;
+        while evaluated.len() < budget {
+            let start = evaluated.len().saturating_sub(self.max_icl);
+            let examples = &evaluated[start..];
+            let pool = space.sample_distinct(self.pool, &mut rng);
+            let best = pool
+                .into_iter()
+                .filter(|c| !seen.contains(&space.index_of(c)))
+                .map(|c| {
+                    step += 1;
+                    let score = self.predict(&builder, examples, &c, seed ^ step);
+                    (c, score)
+                })
+                .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
+            let Some((c, _)) = best else { break };
+            seen.insert(space.index_of(&c));
+            let r = dataset.runtime_of(&c);
+            evaluated.push((c, r));
+        }
+        TuningTrajectory { evaluated }
+    }
+}
+
+/// LLAMBO candidate-sampling search: instead of scoring a random pool, each
+/// iteration asks the LLM to *propose* a configuration expected to achieve
+/// an aggressive target (better than the best observed so far), falling
+/// back to a random candidate when the proposal fails to parse or repeats
+/// an evaluated configuration. This is LLAMBO's "novel means of search
+/// relative to other techniques in the field", closed over the full loop.
+pub struct LlmCandidateSearch<M> {
+    /// The language model used to propose candidates.
+    pub model: M,
+    /// Random evaluations before the proposer activates.
+    pub init_random: usize,
+    /// Most recent observations shown as in-context examples.
+    pub max_icl: usize,
+    /// Target aggressiveness: ask for `best_so_far * improvement`.
+    pub improvement: f64,
+}
+
+impl<M: LanguageModel> Tuner for LlmCandidateSearch<M> {
+    fn name(&self) -> String {
+        format!("llm-candidate-sampling({})", self.model.name())
+    }
+
+    fn run(&self, dataset: &PerfDataset, budget: usize, seed: u64) -> TuningTrajectory {
+        let space = dataset.space();
+        let mut rng = seeded_rng(seed, SeedDomain::Custom(0x11A5));
+        let mut evaluated: Vec<(Config, f64)> = Vec::with_capacity(budget);
+        let mut seen = std::collections::HashSet::new();
+        for c in space.sample_distinct(self.init_random.min(budget), &mut rng) {
+            seen.insert(space.index_of(&c));
+            let r = dataset.runtime_of(&c);
+            evaluated.push((c, r));
+        }
+        let mut step = 0u64;
+        while evaluated.len() < budget {
+            step += 1;
+            let best = evaluated
+                .iter()
+                .map(|&(_, r)| r)
+                .fold(f64::INFINITY, f64::min);
+            let start = evaluated.len().saturating_sub(self.max_icl);
+            let target = best * self.improvement;
+            let proposal = crate::llambo::propose_candidate(
+                &self.model,
+                space,
+                dataset.size(),
+                &evaluated[start..],
+                target,
+                seed ^ step,
+            )
+            .filter(|c| !seen.contains(&space.index_of(c)));
+            let c = match proposal {
+                Some(c) => c,
+                None => {
+                    // Fallback: a fresh random candidate.
+                    let mut c = space.sample(&mut rng);
+                    while seen.contains(&space.index_of(&c)) {
+                        c = space.sample(&mut rng);
+                    }
+                    c
+                }
+            };
+            seen.insert(space.index_of(&c));
+            let r = dataset.runtime_of(&c);
+            evaluated.push((c, r));
+        }
+        TuningTrajectory { evaluated }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lmpeel_configspace::ArraySize;
+    use lmpeel_lm::InductionLm;
+    use lmpeel_perfdata::CostModel;
+    use std::sync::OnceLock;
+
+    fn sm() -> &'static PerfDataset {
+        static DS: OnceLock<PerfDataset> = OnceLock::new();
+        DS.get_or_init(|| PerfDataset::generate(&CostModel::paper(), ArraySize::SM))
+    }
+
+    #[test]
+    fn trajectory_accounting() {
+        let t = TuningTrajectory {
+            evaluated: vec![
+                (sm().space().config_at(0), 3.0),
+                (sm().space().config_at(1), 1.0),
+                (sm().space().config_at(2), 2.0),
+            ],
+        };
+        assert_eq!(t.best_after(1), 3.0);
+        assert_eq!(t.best_after(3), 1.0);
+        assert_eq!(t.best_curve(), vec![3.0, 1.0, 1.0]);
+        assert_eq!(t.best().1, 1.0);
+    }
+
+    #[test]
+    fn random_search_is_seeded_and_budgeted() {
+        let d = sm();
+        let a = RandomSearch.run(d, 20, 1);
+        let b = RandomSearch.run(d, 20, 1);
+        let c = RandomSearch.run(d, 20, 2);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(a.evaluated.len(), 20);
+        for (cfg, r) in &a.evaluated {
+            assert_eq!(*r, d.runtime_of(cfg), "measurements come from the dataset");
+        }
+    }
+
+    #[test]
+    fn gbdt_search_beats_random_on_average() {
+        let d = sm();
+        let budget = 40;
+        let mut wins = 0;
+        for seed in 0..5 {
+            let g = GbdtSearch::default().run(d, budget, seed);
+            let r = RandomSearch.run(d, budget, seed);
+            if g.best_after(budget) <= r.best_after(budget) {
+                wins += 1;
+            }
+        }
+        assert!(wins >= 3, "surrogate should usually win, got {wins}/5");
+    }
+
+    #[test]
+    fn gbdt_search_never_reevaluates() {
+        let d = sm();
+        let t = GbdtSearch::default().run(d, 30, 3);
+        let uniq: std::collections::HashSet<_> =
+            t.evaluated.iter().map(|(c, _)| d.space().index_of(c)).collect();
+        assert_eq!(uniq.len(), t.evaluated.len());
+    }
+
+    #[test]
+    fn llm_candidate_sampling_runs_within_budget_without_repeats() {
+        let d = sm();
+        let tuner = LlmCandidateSearch {
+            model: InductionLm::paper(0),
+            init_random: 3,
+            max_icl: 8,
+            improvement: 0.9,
+        };
+        let t = tuner.run(d, 8, 5);
+        assert_eq!(t.evaluated.len(), 8);
+        let uniq: std::collections::HashSet<_> =
+            t.evaluated.iter().map(|(c, _)| d.space().index_of(c)).collect();
+        assert_eq!(uniq.len(), 8, "no configuration evaluated twice");
+    }
+
+    #[test]
+    fn llm_search_runs_within_budget() {
+        let d = sm();
+        let tuner = LlmSearch {
+            model: InductionLm::paper(0),
+            init_random: 3,
+            pool: 2,
+            max_icl: 6,
+        };
+        let t = tuner.run(d, 6, 4);
+        assert_eq!(t.evaluated.len(), 6);
+        let curve = t.best_curve();
+        assert!(curve.windows(2).all(|w| w[1] <= w[0]), "monotone best curve");
+    }
+}

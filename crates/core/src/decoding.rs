@@ -1,0 +1,455 @@
+//! Alternative-decoding analysis (§III-C, §IV-B, §IV-C).
+//!
+//! "An exhaustive enumeration of this space would require restarting the
+//! model generation with each candidate token... Instead, we consider all
+//! combinations reachable via alternative decodings of the original
+//! generation." Given a [`GenerationTrace`], this module locates the value
+//! tokens, enumerates (or, beyond a budget, deterministically samples) the
+//! distribution of values those positions can jointly produce, and derives
+//! the §IV-C quantities: weighted mean/median decodes, logit-mass-near-truth
+//! checks, and exact-copy detection.
+
+use lmpeel_lm::GenerationTrace;
+use lmpeel_stats::histogram::{weighted_mean, weighted_median};
+use lmpeel_stats::{seeded_rng, SeedDomain};
+use lmpeel_tokenizer::{TokenId, Tokenizer};
+use rand::RngExt;
+use std::collections::HashMap;
+use std::ops::Range;
+
+/// Grow a digit/period run starting at `start`; returns its end (exclusive)
+/// or `None` for a degenerate run.
+fn grow_run(trace: &GenerationTrace, tokenizer: &Tokenizer, start: usize) -> Option<usize> {
+    let vocab = tokenizer.vocab();
+    let mut end = start;
+    let mut seen_dot = false;
+    for (i, step) in trace.steps.iter().enumerate().skip(start) {
+        let s = vocab.token_str(step.chosen);
+        if vocab.is_numeric(step.chosen) {
+            end = i + 1;
+        } else if s == "." && !seen_dot {
+            seen_dot = true;
+            end = i + 1;
+        } else {
+            break;
+        }
+    }
+    // A trailing dot is not part of a value.
+    if end > start && vocab.token_str(trace.steps[end - 1].chosen) == "." {
+        end -= 1;
+    }
+    (end > start).then_some(end)
+}
+
+/// Locate the *answered* decimal value inside a generation.
+///
+/// The clean case is a value at the very start (the prompt ended with
+/// `Performance: `). A drifted generation that restarted the example
+/// scaffold answers at its own `Performance:` line instead, and its scaffold
+/// also contains digit runs (tile sizes) that must not be mistaken for the
+/// value — so a digit run counts only when it starts the generation or
+/// directly follows a `Performance` separator. Returns `None` when no
+/// anchored value exists (pure drift).
+pub fn value_span(trace: &GenerationTrace, tokenizer: &Tokenizer) -> Option<Range<usize>> {
+    let vocab = tokenizer.vocab();
+    let is_digit = |t: TokenId| vocab.is_numeric(t);
+    let anchored = |i: usize| -> bool {
+        if i == 0 {
+            return true; // continues the prompt's own "Performance: "
+        }
+        // Walk back over an optional bare space to the separator.
+        let mut j = i;
+        if vocab.token_str(trace.steps[j - 1].chosen) == " " {
+            j -= 1;
+        }
+        if j == 0 {
+            return false;
+        }
+        let sep = vocab.token_str(trace.steps[j - 1].chosen);
+        if sep != ": " && sep != ":" {
+            return false;
+        }
+        j >= 2 && vocab.token_str(trace.steps[j - 2].chosen).ends_with("Performance")
+    };
+    for (i, step) in trace.steps.iter().enumerate() {
+        if is_digit(step.chosen) && anchored(i) {
+            if let Some(end) = grow_run(trace, tokenizer, i) {
+                return Some(i..end);
+            }
+        }
+    }
+    None
+}
+
+/// The distribution of values reachable by alternative decodings.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ValueDistribution {
+    /// Distinct values with their probabilities (normalized over
+    /// well-formed decodings), sorted by descending probability.
+    pub candidates: Vec<(f64, f64)>,
+    /// Whether the distribution was enumerated exactly (vs. sampled).
+    pub exact: bool,
+    /// Product of per-position possibility counts over the value span —
+    /// Table II's "Permutations" figure.
+    pub permutations: u128,
+    /// Probability mass of malformed decodings (e.g. two periods),
+    /// excluded from `candidates` before normalization.
+    pub malformed_mass: f64,
+}
+
+impl ValueDistribution {
+    /// Probability-weighted mean decode (§IV-C).
+    pub fn mean(&self) -> Option<f64> {
+        weighted_mean(&self.candidates)
+    }
+
+    /// Probability-weighted median decode (§IV-C).
+    pub fn median(&self) -> Option<f64> {
+        weighted_median(&self.candidates)
+    }
+
+    /// Total probability mass within `bound` relative error of `truth`.
+    pub fn mass_within(&self, truth: f64, bound: f64) -> f64 {
+        lmpeel_stats::needle::weighted_needle_mass(&self.candidates, truth, bound)
+    }
+
+    /// Whether any candidate lies within `bound` relative error of `truth`
+    /// (the §IV-C.1 oracle).
+    pub fn any_within(&self, truth: f64, bound: f64) -> bool {
+        lmpeel_stats::needle::any_needle(&self.candidates, truth, bound)
+    }
+
+    /// Smallest and largest generable values.
+    pub fn range(&self) -> Option<(f64, f64)> {
+        if self.candidates.is_empty() {
+            return None;
+        }
+        let mut lo = f64::INFINITY;
+        let mut hi = f64::NEG_INFINITY;
+        for &(v, _) in &self.candidates {
+            lo = lo.min(v);
+            hi = hi.max(v);
+        }
+        Some((lo, hi))
+    }
+}
+
+fn parse_wellformed(s: &str) -> Option<f64> {
+    let bytes = s.as_bytes();
+    if bytes.is_empty() || !bytes[0].is_ascii_digit() {
+        return None;
+    }
+    let mut dots = 0;
+    for &b in bytes {
+        if b == b'.' {
+            dots += 1;
+            if dots > 1 {
+                return None;
+            }
+        } else if !b.is_ascii_digit() {
+            return None;
+        }
+    }
+    if *bytes.last().unwrap() == b'.' {
+        return None;
+    }
+    s.parse::<f64>().ok()
+}
+
+/// Build the generable-value distribution for a value span.
+///
+/// Enumerates the cartesian product of per-position alternatives exactly
+/// while the permutation count stays within `budget`; otherwise draws
+/// `budget` deterministic samples (seeded) from the per-position marginals.
+/// Malformed combinations (two periods, leading period, trailing period)
+/// are excluded and their mass reported.
+///
+/// # Panics
+/// Panics if the span is empty or out of bounds, or `budget == 0`.
+pub fn value_distribution(
+    trace: &GenerationTrace,
+    span: Range<usize>,
+    tokenizer: &Tokenizer,
+    budget: usize,
+    seed: u64,
+) -> ValueDistribution {
+    assert!(budget > 0, "enumeration budget must be positive");
+    assert!(!span.is_empty() && span.end <= trace.steps.len(), "bad value span");
+    let steps = &trace.steps[span];
+    let permutations = steps
+        .iter()
+        .fold(1u128, |acc, s| acc.saturating_mul(s.num_possibilities().max(1) as u128));
+
+    let vocab = tokenizer.vocab();
+    let mut agg: HashMap<u64, (f64, f64)> = HashMap::new(); // bits -> (value, weight)
+    let mut malformed = 0.0f64;
+    let mut add = |text: &str, w: f64| match parse_wellformed(text) {
+        Some(v) => {
+            let e = agg.entry(v.to_bits()).or_insert((v, 0.0));
+            e.1 += w;
+        }
+        None => malformed += w,
+    };
+
+    let exact = permutations <= budget as u128;
+    if exact {
+        // Depth-first cartesian product.
+        fn rec(
+            steps: &[lmpeel_lm::GenStep],
+            vocab: &lmpeel_tokenizer::Vocab,
+            prefix: &mut String,
+            weight: f64,
+            depth: usize,
+            add: &mut dyn FnMut(&str, f64),
+        ) {
+            if depth == steps.len() {
+                add(prefix, weight);
+                return;
+            }
+            for alt in &steps[depth].alternatives {
+                let s = vocab.token_str(alt.id);
+                let len = prefix.len();
+                prefix.push_str(s);
+                rec(steps, vocab, prefix, weight * alt.prob as f64, depth + 1, add);
+                prefix.truncate(len);
+            }
+        }
+        let mut prefix = String::new();
+        rec(steps, vocab, &mut prefix, 1.0, 0, &mut add);
+    } else {
+        // Deterministic Monte Carlo over the per-position marginals.
+        let mut rng = seeded_rng(seed, SeedDomain::Custom(0xDEC0DE));
+        let w = 1.0 / budget as f64;
+        let mut text = String::new();
+        for _ in 0..budget {
+            text.clear();
+            for step in steps {
+                let u: f64 = rng.random();
+                let mut cum = 0.0;
+                let mut chosen = step.alternatives.last().expect("non-empty step").id;
+                for alt in &step.alternatives {
+                    cum += alt.prob as f64;
+                    if u <= cum {
+                        chosen = alt.id;
+                        break;
+                    }
+                }
+                text.push_str(vocab.token_str(chosen));
+            }
+            add(&text, w);
+        }
+    }
+
+    let total: f64 = agg.values().map(|&(_, w)| w).sum();
+    let mut candidates: Vec<(f64, f64)> = agg
+        .into_values()
+        .map(|(v, w)| (v, if total > 0.0 { w / total } else { 0.0 }))
+        .collect();
+    candidates.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.partial_cmp(&b.0).unwrap()));
+    let grand = total + malformed;
+    ValueDistribution {
+        candidates,
+        exact,
+        permutations,
+        malformed_mass: if grand > 0.0 { malformed / grand } else { 0.0 },
+    }
+}
+
+/// Whether a predicted value is an exact copy of one of the in-context
+/// example values (the paper finds "slightly over 10%" of generations are).
+/// Comparison is at the prompt's 7-decimal formatting resolution.
+pub fn is_exact_icl_copy(predicted: f64, icl_values: &[f64]) -> bool {
+    let fmt = lmpeel_configspace::text::format_runtime(predicted);
+    icl_values
+        .iter()
+        .any(|&v| lmpeel_configspace::text::format_runtime(v) == fmt)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lmpeel_lm::{GenStep, TokenAlt};
+
+    fn tok() -> Tokenizer {
+        Tokenizer::paper()
+    }
+
+    fn step_of(t: &Tokenizer, alts: &[(&str, f32)]) -> GenStep {
+        let alternatives: Vec<TokenAlt> = alts
+            .iter()
+            .map(|&(s, prob)| TokenAlt { id: t.vocab().token_id(s).unwrap(), prob })
+            .collect();
+        GenStep {
+            chosen: alternatives[0].id,
+            chosen_prob: alternatives[0].prob,
+            alternatives,
+        }
+    }
+
+    fn value_trace(t: &Tokenizer) -> GenerationTrace {
+        GenerationTrace {
+            prompt_len: 100,
+            steps: vec![
+                step_of(t, &[("0", 0.9), ("1", 0.1)]),
+                step_of(t, &[(".", 1.0)]),
+                step_of(t, &[("002", 0.6), ("005", 0.4)]),
+                step_of(t, &[("215", 0.5), ("123", 0.3), ("999", 0.2)]),
+                step_of(t, &[("5", 1.0)]),
+            ],
+            stopped_naturally: true,
+        }
+    }
+
+    #[test]
+    fn span_covers_the_whole_value() {
+        let t = tok();
+        let trace = value_trace(&t);
+        assert_eq!(value_span(&trace, &t), Some(0..5));
+    }
+
+    #[test]
+    fn span_requires_a_performance_anchor_after_drift() {
+        let t = tok();
+        // Unanchored digits after drift (e.g. a tile size in a restarted
+        // scaffold) are NOT the value...
+        let mut steps = vec![step_of(&t, &[(" The", 1.0)])];
+        steps.extend(value_trace(&t).steps);
+        let trace =
+            GenerationTrace { prompt_len: 0, steps, stopped_naturally: false };
+        assert_eq!(value_span(&trace, &t), None);
+        // ...but a run following a re-emitted "Performance: " is.
+        let mut steps = vec![
+            step_of(&t, &[(" The", 1.0)]),
+            step_of(&t, &[("80", 1.0)]), // a parroted tile size: ignored
+            step_of(&t, &[("\n", 1.0)]),
+            step_of(&t, &[("Performance", 1.0)]),
+            step_of(&t, &[(": ", 1.0)]),
+        ];
+        steps.extend(value_trace(&t).steps);
+        steps.push(step_of(&t, &[(" is", 0.7), ("\n", 0.3)]));
+        let trace =
+            GenerationTrace { prompt_len: 0, steps, stopped_naturally: false };
+        assert_eq!(value_span(&trace, &t), Some(5..10));
+    }
+
+    #[test]
+    fn trailing_dot_excluded_from_span() {
+        let t = tok();
+        let trace = GenerationTrace {
+            prompt_len: 0,
+            steps: vec![step_of(&t, &[("3", 1.0)]), step_of(&t, &[(".", 1.0)])],
+            stopped_naturally: false,
+        };
+        assert_eq!(value_span(&trace, &t), Some(0..1));
+    }
+
+    #[test]
+    fn no_digits_no_span() {
+        let t = tok();
+        let trace = GenerationTrace {
+            prompt_len: 0,
+            steps: vec![step_of(&t, &[(" The", 1.0)])],
+            stopped_naturally: false,
+        };
+        assert_eq!(value_span(&trace, &t), None);
+    }
+
+    #[test]
+    fn exact_enumeration_matches_hand_computation() {
+        let t = tok();
+        let trace = value_trace(&t);
+        let dist = value_distribution(&trace, 0..5, &t, 1000, 0);
+        assert!(dist.exact);
+        assert_eq!(dist.permutations, 12); // 2 * 1 * 2 * 3 * 1
+        assert_eq!(dist.candidates.len(), 12);
+        assert_eq!(dist.malformed_mass, 0.0);
+        let total: f64 = dist.candidates.iter().map(|&(_, w)| w).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+        // P(0.0022155) = 0.9 * 1 * 0.6 * 0.5 * 1 = 0.27 — the top candidate.
+        let (top_v, top_w) = dist.candidates[0];
+        assert!((top_v - 0.0022155).abs() < 1e-12);
+        assert!((top_w - 0.27).abs() < 1e-6);
+    }
+
+    #[test]
+    fn sampled_distribution_approximates_exact() {
+        let t = tok();
+        let trace = value_trace(&t);
+        let exact = value_distribution(&trace, 0..5, &t, 1000, 0);
+        let sampled = value_distribution(&trace, 0..5, &t, 11, 7); // budget < 12 perms
+        assert!(!sampled.exact);
+        // sampled top candidate should be among the exact top few
+        let exact_top: Vec<f64> = exact.candidates.iter().take(4).map(|&(v, _)| v).collect();
+        assert!(exact_top.contains(&sampled.candidates[0].0));
+        // deterministic per seed
+        let again = value_distribution(&trace, 0..5, &t, 11, 7);
+        assert_eq!(sampled, again);
+    }
+
+    #[test]
+    fn malformed_combinations_are_excluded() {
+        let t = tok();
+        // second position may be "." or "5"; "0" + "." + "." is impossible
+        // here, but "0" "." at the end is malformed (trailing dot).
+        let trace = GenerationTrace {
+            prompt_len: 0,
+            steps: vec![
+                step_of(&t, &[("0", 1.0)]),
+                step_of(&t, &[(".", 0.5), ("5", 0.5)]),
+                step_of(&t, &[(".", 0.5), ("7", 0.5)]),
+            ],
+            stopped_naturally: false,
+        };
+        let dist = value_distribution(&trace, 0..3, &t, 100, 0);
+        // combos: 0..(bad) 0.7(ok) 05.(bad) 057(ok)
+        assert!((dist.malformed_mass - 0.5).abs() < 1e-9);
+        assert_eq!(dist.candidates.len(), 2);
+        assert!(dist.any_within(0.7, 1e-9));
+    }
+
+    #[test]
+    fn central_decodes_and_range() {
+        let t = tok();
+        let trace = value_trace(&t);
+        let dist = value_distribution(&trace, 0..5, &t, 1000, 0);
+        let (lo, hi) = dist.range().unwrap();
+        assert!(lo < 0.003 && hi > 1.0, "range spans 0.xx to 1.xx: ({lo}, {hi})");
+        let mean = dist.mean().unwrap();
+        assert!(mean > lo && mean < hi);
+        let median = dist.median().unwrap();
+        // 90% of mass starts with "0.", so the median is sub-second.
+        assert!(median < 1.0);
+    }
+
+    #[test]
+    fn needle_mass_behaves() {
+        let t = tok();
+        let trace = value_trace(&t);
+        let dist = value_distribution(&trace, 0..5, &t, 1000, 0);
+        let truth = 0.0022155;
+        assert!(dist.any_within(truth, 0.01));
+        let m50 = dist.mass_within(truth, 0.5);
+        let m1 = dist.mass_within(truth, 0.01);
+        assert!(m50 >= m1);
+        assert!(m1 > 0.2, "top candidate mass counts: {m1}");
+    }
+
+    #[test]
+    fn copy_detection_uses_format_resolution() {
+        assert!(is_exact_icl_copy(0.0022155, &[0.001, 0.0022155]));
+        assert!(!is_exact_icl_copy(0.0022156, &[0.0022155]));
+        // agreement below the 7-decimal format is still a copy
+        assert!(is_exact_icl_copy(0.00221550001, &[0.0022155]));
+    }
+
+    #[test]
+    fn parse_wellformed_unit() {
+        assert_eq!(parse_wellformed("0.5"), Some(0.5));
+        assert_eq!(parse_wellformed("12"), Some(12.0));
+        assert_eq!(parse_wellformed("0.1.2"), None);
+        assert_eq!(parse_wellformed(".5"), None);
+        assert_eq!(parse_wellformed("5."), None);
+        assert_eq!(parse_wellformed(""), None);
+        assert_eq!(parse_wellformed("1a"), None);
+    }
+}

@@ -1,0 +1,170 @@
+//! §V-D hybrid decoding: a quantitative "supporting model" fills numeric
+//! slots the LLM signals.
+//!
+//! The paper's proposed future direction: "an LLM can be given a unique
+//! token to signal to a supporting model that a number should be generated
+//! at a particular position within its response... Separating this
+//! component permits fine-tuning and adaptation with smaller-scale models
+//! that only operate in quantitative domains." This module implements that
+//! proposal end to end: the LLM handles the natural-language scaffold, and
+//! a boosted-tree regressor — trained few-shot on exactly the in-context
+//! examples the prompt carries — supplies the runtime value through
+//! [`lmpeel_lm::generate::generate_with_number_hook`].
+
+use crate::prompt::PromptBuilder;
+use lmpeel_configspace::text::format_runtime;
+use lmpeel_gbdt::{Gbdt, GbdtParams, TreeParams};
+use lmpeel_lm::generate::generate_with_number_hook;
+use lmpeel_lm::{GenerateSpec, GenerationTrace, LanguageModel, Sampler};
+use lmpeel_perfdata::IclSet;
+use lmpeel_tokenizer::EOS;
+
+/// The quantitative supporting model: a boosted-tree regressor trained on
+/// the prompt's own in-context examples.
+#[derive(Debug, Clone)]
+pub struct GbdtNumberProvider {
+    model: Gbdt,
+}
+
+impl GbdtNumberProvider {
+    /// Hyperparameters sized for few-shot training sets (1–100 rows):
+    /// shallow trees, strong shrinkage, no subsampling.
+    fn few_shot_params(n: usize) -> GbdtParams {
+        GbdtParams {
+            n_estimators: 60,
+            learning_rate: 0.15,
+            tree: TreeParams {
+                max_depth: if n >= 30 { 4 } else { 2 },
+                min_samples_leaf: 1.max(n / 20),
+                min_gain: 1e-12,
+            },
+            subsample: 1.0,
+            colsample: 1.0,
+        }
+    }
+
+    /// Train on an ICL set's examples.
+    ///
+    /// # Panics
+    /// Panics if the set has no examples.
+    pub fn fit(set: &IclSet, space: &lmpeel_configspace::ConfigSpace) -> Self {
+        assert!(!set.examples.is_empty(), "need at least one example");
+        let xs: Vec<Vec<f64>> =
+            set.examples.iter().map(|(c, _)| space.featurize(c)).collect();
+        let ys: Vec<f64> = set.examples.iter().map(|&(_, r)| r).collect();
+        let model = Gbdt::fit(&xs, &ys, Self::few_shot_params(xs.len()), 0);
+        Self { model }
+    }
+
+    /// Predict the runtime of a configuration.
+    pub fn predict(&self, space: &lmpeel_configspace::ConfigSpace, config: &lmpeel_configspace::Config) -> f64 {
+        self.model.predict_row(&space.featurize(config)).max(0.0)
+    }
+}
+
+/// Run one hybrid prediction: the LLM generates the response while the
+/// few-shot boosted-tree provider fills the numeric slot. Returns the
+/// trace and the provider's value.
+pub fn hybrid_predict<M: LanguageModel>(
+    model: &M,
+    builder: &PromptBuilder,
+    set: &IclSet,
+    seed: u64,
+) -> (GenerationTrace, f64) {
+    let provider = GbdtNumberProvider::fit(set, builder.space());
+    let value = provider.predict(builder.space(), &set.query);
+    let tok = model.tokenizer();
+    let ids = builder.for_icl_set(set).to_tokens(tok);
+    let spec = GenerateSpec {
+        sampler: Sampler::paper(),
+        max_tokens: 24,
+        stop_tokens: vec![tok.vocab().token_id("\n").expect("newline"), tok.special(EOS)],
+        trace_min_prob: 1e-3,
+        seed,
+    };
+    let trace = generate_with_number_hook(model, &ids, &spec, |_ctx| {
+        Some(format_runtime(value))
+    });
+    (trace, value)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::extract::extract_value;
+    use lmpeel_configspace::ArraySize;
+    use lmpeel_lm::InductionLm;
+    use lmpeel_perfdata::{icl_replicas, CostModel, PerfDataset};
+    use lmpeel_stats::relative_error;
+
+    fn sm() -> PerfDataset {
+        PerfDataset::generate(&CostModel::paper(), ArraySize::SM)
+    }
+
+    #[test]
+    fn provider_learns_the_icl_examples() {
+        let d = sm();
+        let set = icl_replicas(&d, 50, 1, 5).remove(0);
+        let provider = GbdtNumberProvider::fit(&set, d.space());
+        // In-sample fit should be decent even few-shot.
+        let mut err = 0.0;
+        for (c, r) in &set.examples {
+            err += relative_error(provider.predict(d.space(), c), *r);
+        }
+        let mare = err / set.examples.len() as f64;
+        assert!(mare < 0.25, "few-shot in-sample MARE {mare}");
+    }
+
+    #[test]
+    fn hybrid_response_carries_the_provider_value() {
+        let d = sm();
+        let set = icl_replicas(&d, 20, 1, 6).remove(0);
+        let builder = PromptBuilder::new(d.space().clone(), d.size());
+        let model = InductionLm::paper(0);
+        let (trace, value) = hybrid_predict(&model, &builder, &set, 0);
+        let text = trace.decode(model.tokenizer());
+        let (extracted, _) = extract_value(&text).expect("value in response");
+        // The response carries the value at the prompt's 7-decimal format
+        // resolution.
+        let formatted: f64 = lmpeel_configspace::text::format_runtime(value)
+            .parse()
+            .unwrap();
+        assert!(
+            (extracted - formatted).abs() <= f64::EPSILON * formatted.abs(),
+            "response {text:?} must carry the provider value {value}"
+        );
+    }
+
+    #[test]
+    fn hybrid_beats_the_plain_llm_on_average() {
+        let d = sm();
+        let sets = icl_replicas(&d, 50, 4, 8);
+        let builder = PromptBuilder::new(d.space().clone(), d.size());
+        let model = InductionLm::paper(0);
+        let mut hybrid_err = 0.0;
+        let mut plain_err = 0.0;
+        for set in &sets {
+            let (_, value) = hybrid_predict(&model, &builder, set, 0);
+            hybrid_err += relative_error(value, set.truth);
+            let tok = model.tokenizer();
+            let ids = builder.for_icl_set(set).to_tokens(tok);
+            let spec = GenerateSpec {
+                sampler: Sampler::paper(),
+                max_tokens: 24,
+                stop_tokens: vec![
+                    tok.vocab().token_id("\n").unwrap(),
+                    tok.special(EOS),
+                ],
+                trace_min_prob: 1e-3,
+                seed: 0,
+            };
+            let trace = lmpeel_lm::generate(&model, &ids, &spec);
+            let plain = extract_value(&trace.decode(tok)).map(|(v, _)| v).unwrap_or(0.0);
+            plain_err += relative_error(plain, set.truth);
+        }
+        assert!(
+            hybrid_err < plain_err,
+            "hybrid ({hybrid_err}) should beat plain LLM ({plain_err})"
+        );
+    }
+}

@@ -1,0 +1,294 @@
+//! LLAMBO-style prompt construction (Figure 1).
+//!
+//! A prompt has three parts: **system instructions** telling the model to
+//! answer in the demonstrated format, a **problem description** conveying
+//! "context, intent, and constraints" in natural language (letting
+//! pretrained optimization knowledge bias the prediction), and the **user
+//! ICL examples and query**. All three texts follow the paper's Figure 1
+//! verbatim, with the size-specific dimension line substituted.
+
+use lmpeel_configspace::text::ValueFormat;
+use lmpeel_configspace::{text, ArraySize, Config, ConfigSpace};
+use lmpeel_perfdata::IclSet;
+use lmpeel_tokenizer::{TokenId, Tokenizer, BOS, ROLE_ASSISTANT, ROLE_SYSTEM, ROLE_USER};
+
+/// The Figure-1 system instructions, verbatim.
+pub const SYSTEM_INSTRUCTIONS: &str = "\
+The user may describe their optimization problem to give specific context. \
+Then they will demonstrate hyperparameter configurations for a regression \
+problems in a feature-rich text-based CSV format. Following the examples, \
+the user will provide a number of configurations without performance values; \
+you will need to infer the objective based on their prior examples. Do not \
+alter the user's proposed configurations. Do NOT explain your thought \
+process. ONLY respond with your answer following the format that the user \
+demonstrated for you.";
+
+/// The Figure-1 problem description with the size line substituted.
+pub fn problem_description(size: ArraySize) -> String {
+    let (m, n) = size.dims();
+    format!(
+        "The problem considers source-code optimization for a loop nest in C++ code.\n\
+         The 'size' parameter is invariant, but denotes a relativistic measure of the \
+         size of data inputs to the loop nest. Sizes can be represented by the \
+         following values sorted smallest-to-largest: S, SM, M, ML, L, XL\n\
+         For size '{size}', M={m} and N={n}. Size is NOT a tunable component of the \
+         problem.\n\
+         Tunable options in the configuration space are:\n\
+         * The first and second array inputs to the problem can be independently \
+         packed, represented as True/False for each\n\
+         * The outermost two loops in the nest may be interchanged, represented as \
+         True to perform interchange, else False\n\
+         * Each loop (outer, middle, and inner) are tiled, and the tile sizes can \
+         all be independently specified.\n\
+         The performance objective is the runtime of a program compiled with the \
+         modified source, so lower is better.\n\
+         A pseudocode representation of the problem is:\n\
+         input: Arrays A[N,M], B[N,M], C[N,N], scalar constant alpha\n\
+         code segment:\n\
+         # Optional packing array A\n\
+         # Optional packing array B\n\
+         # Optional interchange on outermost two loops\n\
+         for i=0...N in tiles of size outer_loop_tiling_factor\n\
+         for j=0...M in tiles of size middle_loop_tiling_factor\n\
+         for k=0...i in tiles of size inner_loop_tiling_factor\n\
+         C[i,k] = A[k,j]*alpha*B[i,j] + B[k,j]*alpha*A[i,j]"
+    )
+}
+
+/// A fully-assembled prompt.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Prompt {
+    /// System instructions text.
+    pub system: String,
+    /// User message: problem description + ICL examples + query.
+    pub user: String,
+    /// The assistant-turn priming text (`"Performance: "`), completed by
+    /// the model.
+    pub primer: String,
+}
+
+impl Prompt {
+    /// Tokenize as a chat-formatted stream:
+    /// `BOS <|system|> system <|user|> user <|assistant|> primer`.
+    ///
+    /// The primer leaves the context ending in `Performance: ` so the first
+    /// generated token is the value's first digit, exactly as the paper's
+    /// token-position analysis assumes.
+    pub fn to_tokens(&self, tokenizer: &Tokenizer) -> Vec<TokenId> {
+        let mut ids = vec![tokenizer.special(BOS), tokenizer.special(ROLE_SYSTEM)];
+        ids.extend(tokenizer.encode(&self.system));
+        ids.push(tokenizer.special(ROLE_USER));
+        ids.extend(tokenizer.encode(&self.user));
+        ids.push(tokenizer.special(ROLE_ASSISTANT));
+        ids.extend(tokenizer.encode(&self.primer));
+        ids
+    }
+
+    /// Full rendered text (for display/debugging).
+    pub fn render(&self) -> String {
+        format!(
+            "{ROLE_SYSTEM}\n{}\n{ROLE_USER}\n{}\n{ROLE_ASSISTANT}\n{}",
+            self.system, self.user, self.primer
+        )
+    }
+}
+
+/// Builds prompts for a fixed space and size.
+#[derive(Debug, Clone)]
+pub struct PromptBuilder {
+    space: ConfigSpace,
+    size: ArraySize,
+    format: ValueFormat,
+}
+
+impl PromptBuilder {
+    /// Builder for one configuration space and array size (decimal values,
+    /// as in the paper's prompts).
+    pub fn new(space: ConfigSpace, size: ArraySize) -> Self {
+        Self { space, size, format: ValueFormat::Decimal }
+    }
+
+    /// Use a different value rendering (the §V-B format study).
+    pub fn with_format(self, format: ValueFormat) -> Self {
+        Self { format, ..self }
+    }
+
+    /// The discriminative-surrogate prompt of Figure 1: examples with
+    /// runtimes, then the query configuration with a dangling
+    /// `Performance:`.
+    pub fn discriminative(&self, examples: &[(Config, f64)], query: &Config) -> Prompt {
+        let mut user = problem_description(self.size);
+        user.push_str("\n\nHere are the examples:\n");
+        for (cfg, runtime) in examples {
+            user.push_str(&text::nl_config_line(&self.space, cfg, self.size));
+            user.push_str("\nPerformance: ");
+            user.push_str(&text::format_value(*runtime, self.format));
+            user.push('\n');
+        }
+        user.push_str("\nPlease complete the following:\n");
+        user.push_str(&text::nl_config_line(&self.space, query, self.size));
+        Prompt {
+            system: SYSTEM_INSTRUCTIONS.to_string(),
+            user,
+            primer: "Performance: ".to_string(),
+        }
+    }
+
+    /// Prompt for an [`IclSet`].
+    pub fn for_icl_set(&self, set: &IclSet) -> Prompt {
+        self.discriminative(&set.examples, &set.query)
+    }
+
+    /// Cross-size transfer prompt: in-context examples from a *different*
+    /// array size than the query (the transfer-learning setting the paper's
+    /// introduction motivates — "transfer learning methods leverage data
+    /// from related autotuning tasks (e.g., similar input sizes)"). Each
+    /// example line carries its own size label; the problem description and
+    /// the query use this builder's size.
+    pub fn discriminative_transfer(
+        &self,
+        examples: &[(Config, f64)],
+        examples_size: ArraySize,
+        query: &Config,
+    ) -> Prompt {
+        let mut user = problem_description(self.size);
+        user.push_str("\n\nHere are the examples:\n");
+        for (cfg, runtime) in examples {
+            user.push_str(&text::nl_config_line(&self.space, cfg, examples_size));
+            user.push_str("\nPerformance: ");
+            user.push_str(&text::format_value(*runtime, self.format));
+            user.push('\n');
+        }
+        user.push_str("\nPlease complete the following:\n");
+        user.push_str(&text::nl_config_line(&self.space, query, self.size));
+        Prompt {
+            system: SYSTEM_INSTRUCTIONS.to_string(),
+            user,
+            primer: "Performance: ".to_string(),
+        }
+    }
+
+    /// The configuration space this builder serializes.
+    pub fn space(&self) -> &ConfigSpace {
+        &self.space
+    }
+
+    /// The array size baked into the problem description.
+    pub fn size(&self) -> ArraySize {
+        self.size
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lmpeel_configspace::{syr2k_space, Syr2kConfig};
+
+    fn builder() -> PromptBuilder {
+        PromptBuilder::new(syr2k_space(), ArraySize::SM)
+    }
+
+    fn fig1_example() -> (Config, f64) {
+        let space = syr2k_space();
+        (
+            Syr2kConfig {
+                pack_a: true,
+                pack_b: false,
+                interchange: false,
+                tile_outer: 80,
+                tile_middle: 64,
+                tile_inner: 100,
+            }
+            .to_config(&space),
+            0.0022155,
+        )
+    }
+
+    fn fig1_query() -> Config {
+        let space = syr2k_space();
+        Syr2kConfig {
+            pack_a: false,
+            pack_b: true,
+            interchange: false,
+            tile_outer: 128,
+            tile_middle: 80,
+            tile_inner: 80,
+        }
+        .to_config(&space)
+    }
+
+    #[test]
+    fn problem_description_carries_size_dimensions() {
+        let d = problem_description(ArraySize::SM);
+        assert!(d.contains("For size 'SM', M=130 and N=160."));
+        let x = problem_description(ArraySize::XL);
+        assert!(x.contains("For size 'XL', M=2000 and N=2600."));
+        assert!(d.contains("lower is better"));
+        assert!(d.contains("C[i,k] = A[k,j]*alpha*B[i,j] + B[k,j]*alpha*A[i,j]"));
+    }
+
+    #[test]
+    fn discriminative_prompt_has_figure1_shape() {
+        let p = builder().discriminative(&[fig1_example()], &fig1_query());
+        assert_eq!(p.system, SYSTEM_INSTRUCTIONS);
+        assert!(p.user.contains("Here are the examples:"));
+        assert!(p.user.contains("Performance: 0.0022155"));
+        assert!(p.user.contains("Please complete the following:"));
+        assert!(p.user.ends_with("inner_loop_tiling_factor is 80"));
+        assert_eq!(p.primer, "Performance: ");
+    }
+
+    #[test]
+    fn tokens_end_with_the_performance_separator() {
+        let t = Tokenizer::paper();
+        let p = builder().discriminative(&[fig1_example()], &fig1_query());
+        let ids = p.to_tokens(&t);
+        assert_eq!(ids[0], t.special(BOS));
+        let last = t.vocab().token_str(*ids.last().unwrap());
+        assert_eq!(last, ": ", "context must end 'Performance: '");
+        let second_last = t.vocab().token_str(ids[ids.len() - 2]);
+        assert!(second_last.ends_with("Performance"));
+    }
+
+    #[test]
+    fn value_state_is_start_after_prompt() {
+        let t = Tokenizer::paper();
+        let p = builder().discriminative(&[fig1_example()], &fig1_query());
+        let ids = p.to_tokens(&t);
+        use lmpeel_lm::induction::prior::{value_state, ValueState};
+        assert_eq!(value_state(&ids, &t), Some(ValueState::Start));
+    }
+
+    #[test]
+    fn example_count_scales_prompt_length() {
+        let b = builder();
+        let examples: Vec<(Config, f64)> = (0..20)
+            .map(|i| (b.space().config_at(i * 97), 0.001 + i as f64 * 1e-4))
+            .collect();
+        let p1 = b.discriminative(&examples[..1], &fig1_query());
+        let p20 = b.discriminative(&examples, &fig1_query());
+        assert!(p20.user.len() > p1.user.len() + 15 * 100);
+        // every example value appears
+        for (_, r) in &examples {
+            assert!(p20.user.contains(&text::format_runtime(*r)));
+        }
+    }
+
+    #[test]
+    fn transfer_prompt_labels_sizes_independently() {
+        let b = PromptBuilder::new(syr2k_space(), ArraySize::XL);
+        let p = b.discriminative_transfer(&[fig1_example()], ArraySize::SM, &fig1_query());
+        assert!(p.user.contains("size is SM"), "examples keep their size");
+        assert!(p.user.contains("For size 'XL'"), "description uses the query size");
+        assert!(p.user.ends_with("inner_loop_tiling_factor is 80"));
+        let count_xl = p.user.matches("size is XL").count();
+        assert_eq!(count_xl, 1, "only the query line is XL");
+    }
+
+    #[test]
+    fn render_shows_all_three_parts() {
+        let p = builder().discriminative(&[fig1_example()], &fig1_query());
+        let r = p.render();
+        assert!(r.contains(ROLE_SYSTEM) && r.contains(ROLE_USER) && r.contains(ROLE_ASSISTANT));
+    }
+}

@@ -1,0 +1,181 @@
+//! Table II: variability in the number of selectable tokens per generated
+//! value position, and the permutation counts those possibilities imply.
+
+use lmpeel_lm::GenerationTrace;
+use lmpeel_stats::Welford;
+use std::ops::Range;
+
+/// One Table II row: statistics of the number of selectable tokens at a
+/// given position within the value.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TokenPositionStats {
+    /// 1-based value-token position (1 = first value token).
+    pub position: usize,
+    /// Mean number of selectable tokens across samples.
+    pub mean: f64,
+    /// Standard deviation of the count.
+    pub std: f64,
+    /// Number of generations that reached this position.
+    pub samples: u64,
+}
+
+/// The full Table II: per-position rows plus the permutations summary.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TokenStatsTable {
+    /// Per-position statistics, position 1 first.
+    pub rows: Vec<TokenPositionStats>,
+    /// Mean of per-generation permutation counts.
+    pub permutations_mean: f64,
+    /// Standard deviation of per-generation permutation counts.
+    pub permutations_std: f64,
+    /// Number of generations aggregated.
+    pub n: u64,
+}
+
+impl TokenStatsTable {
+    /// Aggregate traces (with their value spans) into the table. Traces
+    /// whose span is `None` (no value generated) are skipped, mirroring the
+    /// paper's per-position sample counts shrinking at deeper positions.
+    pub fn aggregate<'a, I>(traces: I) -> Self
+    where
+        I: IntoIterator<Item = (&'a GenerationTrace, Option<Range<usize>>)>,
+    {
+        let mut per_pos: Vec<Welford> = Vec::new();
+        let mut perms = Welford::new();
+        let mut n = 0u64;
+        for (trace, span) in traces {
+            let Some(span) = span else { continue };
+            n += 1;
+            let steps = &trace.steps[span];
+            let mut perm = 1f64;
+            for (i, step) in steps.iter().enumerate() {
+                if per_pos.len() <= i {
+                    per_pos.push(Welford::new());
+                }
+                let count = step.num_possibilities();
+                per_pos[i].push(count as f64);
+                perm *= count.max(1) as f64;
+            }
+            perms.push(perm);
+        }
+        let rows = per_pos
+            .iter()
+            .enumerate()
+            .map(|(i, w)| {
+                let s = w.finish();
+                TokenPositionStats {
+                    position: i + 1,
+                    mean: s.mean,
+                    std: s.std_dev,
+                    samples: s.n,
+                }
+            })
+            .collect();
+        let (pm, ps) = if n > 0 {
+            let s = perms.finish();
+            (s.mean, s.std_dev)
+        } else {
+            (0.0, 0.0)
+        };
+        Self { rows, permutations_mean: pm, permutations_std: ps, n }
+    }
+
+    /// Render as an aligned text table in the paper's layout.
+    pub fn render(&self) -> String {
+        let mut out = String::from(
+            "position        mean_possibilities  std_possibilities  samples\n",
+        );
+        for r in &self.rows {
+            out.push_str(&format!(
+                "{:<15} {:>18.3} {:>18.3} {:>8}\n",
+                format!("token {}", r.position),
+                r.mean,
+                r.std,
+                r.samples
+            ));
+        }
+        out.push_str(&format!(
+            "{:<15} {:>18.0} {:>18.0} {:>8}\n",
+            "permutations", self.permutations_mean, self.permutations_std, self.n
+        ));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lmpeel_lm::{GenStep, TokenAlt};
+
+    fn step(n_alts: usize) -> GenStep {
+        GenStep {
+            chosen: 0,
+            chosen_prob: 1.0,
+            alternatives: (0..n_alts as u32)
+                .map(|id| TokenAlt { id, prob: 1.0 / n_alts as f32 })
+                .collect(),
+        }
+    }
+
+    fn trace(counts: &[usize]) -> GenerationTrace {
+        GenerationTrace {
+            prompt_len: 0,
+            steps: counts.iter().map(|&c| step(c)).collect(),
+            stopped_naturally: true,
+        }
+    }
+
+    #[test]
+    fn aggregates_aligned_positions() {
+        let t1 = trace(&[4, 1, 300]);
+        let t2 = trace(&[2, 1, 500, 10]);
+        let table = TokenStatsTable::aggregate([
+            (&t1, Some(0..3)),
+            (&t2, Some(0..4)),
+        ]);
+        assert_eq!(table.n, 2);
+        assert_eq!(table.rows.len(), 4);
+        assert_eq!(table.rows[0].samples, 2);
+        assert!((table.rows[0].mean - 3.0).abs() < 1e-12);
+        assert_eq!(table.rows[1].mean, 1.0);
+        assert_eq!(table.rows[1].std, 0.0, "period position has no variance");
+        assert_eq!(table.rows[3].samples, 1, "deeper positions have fewer samples");
+        // permutations: 4*1*300 = 1200 and 2*1*500*10 = 10000
+        assert!((table.permutations_mean - 5600.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn spans_offset_into_the_trace() {
+        // One drift token before the value: span starts at 1.
+        let t = trace(&[7, 4, 1, 300]);
+        let table = TokenStatsTable::aggregate([(&t, Some(1..4))]);
+        assert_eq!(table.rows.len(), 3);
+        assert_eq!(table.rows[0].mean, 4.0, "alignment starts at the value");
+    }
+
+    #[test]
+    fn missing_spans_are_skipped() {
+        let t1 = trace(&[4, 1, 300]);
+        let t2 = trace(&[9]);
+        let table = TokenStatsTable::aggregate([(&t1, Some(0..3)), (&t2, None)]);
+        assert_eq!(table.n, 1);
+    }
+
+    #[test]
+    fn empty_input_is_safe() {
+        let table = TokenStatsTable::aggregate(std::iter::empty());
+        assert_eq!(table.n, 0);
+        assert!(table.rows.is_empty());
+        assert_eq!(table.permutations_mean, 0.0);
+    }
+
+    #[test]
+    fn render_has_one_line_per_row_plus_header_and_perms() {
+        let t1 = trace(&[4, 1, 300]);
+        let table = TokenStatsTable::aggregate([(&t1, Some(0..3))]);
+        let text = table.render();
+        assert_eq!(text.lines().count(), 1 + 3 + 1);
+        assert!(text.contains("token 2"));
+        assert!(text.contains("permutations"));
+    }
+}

@@ -1,0 +1,185 @@
+//! Feature matrices with per-feature quantile binning.
+//!
+//! Histogram-based split finding needs features discretized into a small
+//! number of bins. [`DMatrix`] stores features column-major, computes
+//! per-feature bin thresholds from the training distribution (distinct
+//! values when few, quantile cuts otherwise), and caches each cell's bin
+//! index for O(rows) histogram accumulation.
+
+/// Maximum number of bins per feature.
+pub const MAX_BINS: usize = 64;
+
+/// A binned, column-major feature matrix.
+#[derive(Debug, Clone)]
+pub struct DMatrix {
+    n_rows: usize,
+    /// Raw feature values, one Vec per feature (column-major).
+    columns: Vec<Vec<f64>>,
+    /// Per-feature ascending bin upper edges (`value <= edge` → that bin).
+    edges: Vec<Vec<f64>>,
+    /// Per-feature bin index of every row.
+    bins: Vec<Vec<u8>>,
+}
+
+impl DMatrix {
+    /// Build from row-major features.
+    ///
+    /// # Panics
+    /// Panics if rows are empty or ragged.
+    pub fn from_rows(rows: &[Vec<f64>]) -> Self {
+        assert!(!rows.is_empty(), "DMatrix needs at least one row");
+        let n_features = rows[0].len();
+        assert!(n_features > 0, "DMatrix needs at least one feature");
+        assert!(
+            rows.iter().all(|r| r.len() == n_features),
+            "ragged feature rows"
+        );
+        let n_rows = rows.len();
+        let mut columns = vec![Vec::with_capacity(n_rows); n_features];
+        for r in rows {
+            for (c, &v) in r.iter().enumerate() {
+                columns[c].push(v);
+            }
+        }
+        let edges: Vec<Vec<f64>> = columns.iter().map(|col| bin_edges(col)).collect();
+        let bins = columns
+            .iter()
+            .zip(&edges)
+            .map(|(col, e)| col.iter().map(|&v| bin_of(e, v)).collect())
+            .collect();
+        Self { n_rows, columns, edges, bins }
+    }
+
+    /// Number of rows.
+    pub fn n_rows(&self) -> usize {
+        self.n_rows
+    }
+
+    /// Number of features.
+    pub fn n_features(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// Raw value of feature `f` at row `r`.
+    #[inline]
+    pub fn value(&self, r: usize, f: usize) -> f64 {
+        self.columns[f][r]
+    }
+
+    /// Bin index of feature `f` at row `r`.
+    #[inline]
+    pub fn bin(&self, r: usize, f: usize) -> usize {
+        self.bins[f][r] as usize
+    }
+
+    /// Bin upper edges of feature `f`.
+    pub fn edges(&self, f: usize) -> &[f64] {
+        &self.edges[f]
+    }
+
+    /// Number of bins of feature `f`.
+    pub fn n_bins(&self, f: usize) -> usize {
+        self.edges[f].len()
+    }
+
+    /// The split threshold between bins `b` and `b+1` of feature `f`: the
+    /// upper edge of bin `b` (split sends `value <= threshold` left).
+    pub fn threshold(&self, f: usize, b: usize) -> f64 {
+        self.edges[f][b]
+    }
+}
+
+/// Compute ascending bin upper edges for a column: all distinct values when
+/// few, else `MAX_BINS` quantile cuts.
+fn bin_edges(col: &[f64]) -> Vec<f64> {
+    let mut sorted: Vec<f64> = col.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    sorted.dedup();
+    if sorted.len() <= MAX_BINS {
+        return sorted;
+    }
+    let mut edges = Vec::with_capacity(MAX_BINS);
+    for i in 1..=MAX_BINS {
+        let q = i as f64 / MAX_BINS as f64;
+        let idx = ((sorted.len() - 1) as f64 * q).round() as usize;
+        edges.push(sorted[idx]);
+    }
+    edges.dedup();
+    edges
+}
+
+/// Bin index of `v` under ascending upper edges (first edge `>= v`).
+fn bin_of(edges: &[f64], v: f64) -> u8 {
+    let idx = edges.partition_point(|&e| e < v);
+    idx.min(edges.len() - 1) as u8
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn columnar_layout_matches_rows() {
+        let rows = vec![vec![1.0, 10.0], vec![2.0, 20.0], vec![3.0, 30.0]];
+        let m = DMatrix::from_rows(&rows);
+        assert_eq!(m.n_rows(), 3);
+        assert_eq!(m.n_features(), 2);
+        assert_eq!(m.value(1, 0), 2.0);
+        assert_eq!(m.value(2, 1), 30.0);
+    }
+
+    #[test]
+    fn few_distinct_values_become_exact_bins() {
+        let rows: Vec<Vec<f64>> = [4.0, 8.0, 4.0, 16.0, 8.0]
+            .iter()
+            .map(|&v| vec![v])
+            .collect();
+        let m = DMatrix::from_rows(&rows);
+        assert_eq!(m.edges(0), &[4.0, 8.0, 16.0]);
+        assert_eq!(m.bin(0, 0), 0);
+        assert_eq!(m.bin(1, 0), 1);
+        assert_eq!(m.bin(3, 0), 2);
+    }
+
+    #[test]
+    fn many_distinct_values_are_quantile_binned() {
+        let rows: Vec<Vec<f64>> = (0..1000).map(|i| vec![i as f64]).collect();
+        let m = DMatrix::from_rows(&rows);
+        assert!(m.n_bins(0) <= MAX_BINS);
+        assert!(m.n_bins(0) >= MAX_BINS / 2);
+        // binning is monotone
+        for r in 1..1000 {
+            assert!(m.bin(r, 0) >= m.bin(r - 1, 0));
+        }
+    }
+
+    #[test]
+    fn thresholds_separate_bins() {
+        let rows: Vec<Vec<f64>> = [1.0, 2.0, 3.0].iter().map(|&v| vec![v]).collect();
+        let m = DMatrix::from_rows(&rows);
+        // split at threshold(0,0)=1.0 sends value 1.0 left, 2.0/3.0 right
+        assert_eq!(m.threshold(0, 0), 1.0);
+        assert!(m.value(0, 0) <= m.threshold(0, 0));
+        assert!(m.value(1, 0) > m.threshold(0, 0));
+    }
+
+    #[test]
+    fn constant_column_is_single_bin() {
+        let rows: Vec<Vec<f64>> = (0..5).map(|_| vec![7.0]).collect();
+        let m = DMatrix::from_rows(&rows);
+        assert_eq!(m.n_bins(0), 1);
+        assert!((0..5).all(|r| m.bin(r, 0) == 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "ragged")]
+    fn ragged_rows_rejected() {
+        let _ = DMatrix::from_rows(&[vec![1.0], vec![1.0, 2.0]]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one row")]
+    fn empty_rejected() {
+        let _ = DMatrix::from_rows(&[]);
+    }
+}

@@ -1,0 +1,167 @@
+//! Dense row-major matrices with Polybench-style initialization.
+
+/// A dense row-major `rows x cols` matrix of `f64`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// Zero-filled matrix.
+    ///
+    /// # Panics
+    /// Panics if either dimension is zero.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        assert!(rows > 0 && cols > 0, "matrix dimensions must be positive");
+        Self { rows, cols, data: vec![0.0; rows * cols] }
+    }
+
+    /// Polybench-style deterministic initialization:
+    /// `X[i][j] = ((i*j + shift) % modulus) / modulus`.
+    pub fn polybench_init(rows: usize, cols: usize, shift: usize, modulus: usize) -> Self {
+        assert!(modulus > 0, "modulus must be positive");
+        let mut m = Self::zeros(rows, cols);
+        for i in 0..rows {
+            for j in 0..cols {
+                m[(i, j)] = ((i * j + shift) % modulus) as f64 / modulus as f64;
+            }
+        }
+        m
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Borrow the backing storage (row-major).
+    pub fn data(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Mutably borrow the backing storage (row-major).
+    pub fn data_mut(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// Borrow row `i` as a slice.
+    pub fn row(&self, i: usize) -> &[f64] {
+        &self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Transposed copy (used by the packing transformation: a column walk of
+    /// `self` becomes a unit-stride row walk of the transpose).
+    pub fn transposed(&self) -> Matrix {
+        let mut t = Matrix::zeros(self.cols, self.rows);
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                t[(j, i)] = self[(i, j)];
+            }
+        }
+        t
+    }
+
+    /// Maximum absolute element-wise difference against another matrix.
+    ///
+    /// # Panics
+    /// Panics on dimension mismatch.
+    pub fn max_abs_diff(&self, other: &Matrix) -> f64 {
+        assert_eq!(
+            (self.rows, self.cols),
+            (other.rows, other.cols),
+            "dimension mismatch"
+        );
+        self.data
+            .iter()
+            .zip(&other.data)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0, f64::max)
+    }
+
+    /// Frobenius norm.
+    pub fn frobenius(&self) -> f64 {
+        self.data.iter().map(|x| x * x).sum::<f64>().sqrt()
+    }
+}
+
+impl std::ops::Index<(usize, usize)> for Matrix {
+    type Output = f64;
+    #[inline]
+    fn index(&self, (i, j): (usize, usize)) -> &f64 {
+        debug_assert!(i < self.rows && j < self.cols);
+        &self.data[i * self.cols + j]
+    }
+}
+
+impl std::ops::IndexMut<(usize, usize)> for Matrix {
+    #[inline]
+    fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut f64 {
+        debug_assert!(i < self.rows && j < self.cols);
+        &mut self.data[i * self.cols + j]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeros_shape_and_content() {
+        let m = Matrix::zeros(3, 4);
+        assert_eq!(m.rows(), 3);
+        assert_eq!(m.cols(), 4);
+        assert!(m.data().iter().all(|&x| x == 0.0));
+        assert_eq!(m.row(1).len(), 4);
+    }
+
+    #[test]
+    fn indexing_is_row_major() {
+        let mut m = Matrix::zeros(2, 3);
+        m[(1, 2)] = 5.0;
+        assert_eq!(m.data()[5], 5.0); // row 1, col 2 of a 2x3
+        assert_eq!(m[(1, 2)], 5.0);
+    }
+
+    #[test]
+    fn polybench_init_is_deterministic_and_bounded() {
+        let a = Matrix::polybench_init(5, 7, 1, 13);
+        let b = Matrix::polybench_init(5, 7, 1, 13);
+        assert_eq!(a, b);
+        assert!(a.data().iter().all(|&x| (0.0..1.0).contains(&x)));
+        // values actually vary
+        assert!(a.data().iter().any(|&x| x != a.data()[0]));
+    }
+
+    #[test]
+    fn transpose_roundtrip() {
+        let a = Matrix::polybench_init(4, 6, 2, 11);
+        let t = a.transposed();
+        assert_eq!(t.rows(), 6);
+        assert_eq!(t.cols(), 4);
+        assert_eq!(a, t.transposed());
+        assert_eq!(a[(2, 5)], t[(5, 2)]);
+    }
+
+    #[test]
+    fn max_abs_diff_and_frobenius() {
+        let a = Matrix::polybench_init(3, 3, 0, 7);
+        let mut b = a.clone();
+        assert_eq!(a.max_abs_diff(&b), 0.0);
+        b[(1, 1)] += 0.5;
+        assert!((a.max_abs_diff(&b) - 0.5).abs() < 1e-15);
+        assert!(a.frobenius() > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_dims_rejected() {
+        let _ = Matrix::zeros(0, 3);
+    }
+}

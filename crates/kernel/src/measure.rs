@@ -1,0 +1,138 @@
+//! Wall-clock measurement harness.
+//!
+//! The only place in the workspace that reads the clock. Mirrors the
+//! paper's empirical-evaluation loop: run the configured kernel a few
+//! times, discard warmups, report robust statistics.
+
+use std::time::Instant;
+
+/// How to measure: warmup iterations (discarded) and timed repeats.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MeasureSpec {
+    /// Untimed warmup runs (cache/branch-predictor settling).
+    pub warmups: usize,
+    /// Timed runs (must be >= 1).
+    pub repeats: usize,
+}
+
+impl Default for MeasureSpec {
+    fn default() -> Self {
+        Self { warmups: 1, repeats: 3 }
+    }
+}
+
+/// Result of measuring one workload.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Measurement {
+    /// All timed samples, in execution order (seconds).
+    pub samples: Vec<f64>,
+}
+
+impl Measurement {
+    /// Fastest sample.
+    pub fn min(&self) -> f64 {
+        self.samples.iter().cloned().fold(f64::INFINITY, f64::min)
+    }
+
+    /// Slowest sample.
+    pub fn max(&self) -> f64 {
+        self.samples.iter().cloned().fold(0.0, f64::max)
+    }
+
+    /// Median sample — the headline number (robust to OS jitter).
+    pub fn median(&self) -> f64 {
+        let mut s = self.samples.clone();
+        s.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let mid = s.len() / 2;
+        if s.len() % 2 == 1 {
+            s[mid]
+        } else {
+            0.5 * (s[mid - 1] + s[mid])
+        }
+    }
+
+    /// Arithmetic mean sample.
+    pub fn mean(&self) -> f64 {
+        self.samples.iter().sum::<f64>() / self.samples.len() as f64
+    }
+}
+
+/// Measure a workload. The closure's return value is folded into a black-box
+/// sink so the optimizer cannot elide the work; the sink is returned for
+/// checksum validation.
+///
+/// # Panics
+/// Panics if `spec.repeats == 0`.
+pub fn measure<T, F: FnMut() -> T>(spec: MeasureSpec, mut work: F) -> (Measurement, T) {
+    assert!(spec.repeats >= 1, "need at least one timed repeat");
+    for _ in 0..spec.warmups {
+        std::hint::black_box(work());
+    }
+    let mut samples = Vec::with_capacity(spec.repeats);
+    let mut last = None;
+    for _ in 0..spec.repeats {
+        let t0 = Instant::now();
+        let out = std::hint::black_box(work());
+        samples.push(t0.elapsed().as_secs_f64());
+        last = Some(out);
+    }
+    (Measurement { samples }, last.expect("repeats >= 1"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn collects_requested_samples() {
+        let (m, out) = measure(MeasureSpec { warmups: 2, repeats: 5 }, || 41 + 1);
+        assert_eq!(m.samples.len(), 5);
+        assert_eq!(out, 42);
+        assert!(m.samples.iter().all(|&s| s >= 0.0));
+    }
+
+    #[test]
+    fn statistics_are_consistent() {
+        let m = Measurement { samples: vec![3.0, 1.0, 2.0] };
+        assert_eq!(m.min(), 1.0);
+        assert_eq!(m.max(), 3.0);
+        assert_eq!(m.median(), 2.0);
+        assert_eq!(m.mean(), 2.0);
+    }
+
+    #[test]
+    fn even_length_median_averages() {
+        let m = Measurement { samples: vec![1.0, 2.0, 3.0, 10.0] };
+        assert_eq!(m.median(), 2.5);
+    }
+
+    #[test]
+    fn workload_actually_runs_warmups_plus_repeats() {
+        let mut calls = 0;
+        let _ = measure(MeasureSpec { warmups: 3, repeats: 2 }, || calls += 1);
+        assert_eq!(calls, 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one")]
+    fn zero_repeats_rejected() {
+        let _ = measure(MeasureSpec { warmups: 0, repeats: 0 }, || ());
+    }
+
+    #[test]
+    fn timing_orders_sleep_lengths() {
+        // Coarse sanity: a longer busy loop takes longer.
+        let busy = |iters: u64| {
+            move || {
+                let mut acc = 0u64;
+                for i in 0..iters {
+                    acc = acc.wrapping_add(std::hint::black_box(i));
+                }
+                acc
+            }
+        };
+        let (short, _) = measure(MeasureSpec { warmups: 1, repeats: 3 }, busy(10_000));
+        let (long, _) = measure(MeasureSpec { warmups: 1, repeats: 3 }, busy(10_000_000));
+        assert!(long.median() > short.median());
+    }
+}

@@ -1,0 +1,312 @@
+//! The decoding loop.
+
+use crate::model::LanguageModel;
+use crate::sampler::Sampler;
+use crate::trace::{GenStep, GenerationTrace, TokenAlt};
+use lmpeel_stats::{seeded_rng, SeedDomain};
+use lmpeel_tokenizer::TokenId;
+
+/// Generation parameters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GenerateSpec {
+    /// Sampling policy.
+    pub sampler: Sampler,
+    /// Hard cap on generated tokens.
+    pub max_tokens: usize,
+    /// Tokens that end generation (sampled stop token is *not* included in
+    /// the trace's steps).
+    pub stop_tokens: Vec<TokenId>,
+    /// Minimum probability for an alternative to be recorded in the trace
+    /// (the "nonzero logit" cutoff of §III-C).
+    pub trace_min_prob: f32,
+    /// Sampling seed (the paper evaluates each prompt with three seeds).
+    pub seed: u64,
+}
+
+impl GenerateSpec {
+    /// Paper-style defaults with a given seed.
+    pub fn paper(seed: u64) -> Self {
+        Self {
+            sampler: Sampler::paper(),
+            max_tokens: 24,
+            stop_tokens: vec![],
+            trace_min_prob: 1e-3,
+            seed,
+        }
+    }
+}
+
+/// Run the decoding loop: sample up to `max_tokens` tokens, recording the
+/// full feasible distribution at every step.
+pub fn generate<M: LanguageModel>(
+    model: &M,
+    prompt: &[TokenId],
+    spec: &GenerateSpec,
+) -> GenerationTrace {
+    let mut rng = seeded_rng(spec.seed, SeedDomain::Sampling(prompt.len() as u64));
+    let mut context: Vec<TokenId> = prompt.to_vec();
+    let mut steps = Vec::new();
+    let mut stopped_naturally = false;
+
+    for _ in 0..spec.max_tokens {
+        let logits = model.logits(&context);
+        debug_assert_eq!(
+            logits.len(),
+            model.tokenizer().vocab().len(),
+            "model returned wrong logit arity"
+        );
+        // The trace records the *raw* softmax (temperature 1, no top-k/p)
+        // above the `trace_min_prob` floor — the paper logs "all generated
+        // nonzero logit values" before any sampling processors, and its
+        // central-decode analysis (§IV-C) only comes out wrong-side-up if
+        // the rare off-magnitude alternatives that sharpening and nucleus
+        // pruning would remove are kept in the haystack.
+        let trace_sampler = Sampler { temperature: 1.0, top_k: 0, top_p: 1.0 };
+        let dist = trace_sampler.distribution(&logits);
+        let (chosen, chosen_prob) = spec.sampler.sample(&logits, &mut rng);
+        if spec.stop_tokens.contains(&chosen) {
+            stopped_naturally = true;
+            break;
+        }
+        let alternatives: Vec<TokenAlt> = dist
+            .into_iter()
+            .filter(|&(_, p)| p >= spec.trace_min_prob)
+            .map(|(id, prob)| TokenAlt { id, prob })
+            .collect();
+        steps.push(GenStep { chosen, chosen_prob, alternatives });
+        context.push(chosen);
+    }
+
+    GenerationTrace { prompt_len: prompt.len(), steps, stopped_naturally }
+}
+
+/// §V-D future-work decoding: "an LLM can be given a unique token to signal
+/// to a supporting model that a number should be generated at a particular
+/// position within its response. This mimics modern LLM tool usage patterns
+/// by providing a hook for any number-generating process to transparently
+/// assist the LLM."
+///
+/// This loop runs exactly like [`generate`], but whenever the context sits
+/// at the start of a numeric value (detected via
+/// [`crate::induction::prior::value_state`]), the `number_provider` is
+/// consulted. If it supplies a value, the formatted digits are spliced into
+/// the stream verbatim (each spliced step records a single-possibility
+/// alternative, like a tool-call result) and the LM resumes for the
+/// surrounding scaffold.
+pub fn generate_with_number_hook<M, F>(
+    model: &M,
+    prompt: &[TokenId],
+    spec: &GenerateSpec,
+    mut number_provider: F,
+) -> GenerationTrace
+where
+    M: LanguageModel,
+    F: FnMut(&[TokenId]) -> Option<String>,
+{
+    use crate::induction::prior::{value_state, ValueState};
+    let mut rng = seeded_rng(spec.seed, SeedDomain::Sampling(prompt.len() as u64));
+    let mut context: Vec<TokenId> = prompt.to_vec();
+    let mut steps = Vec::new();
+    let mut stopped_naturally = false;
+    let tokenizer = model.tokenizer();
+
+    while steps.len() < spec.max_tokens {
+        // Numeric hook: at a value onset, let the supporting model fill in
+        // the number.
+        if value_state(&context, tokenizer) == Some(ValueState::Start) {
+            if let Some(text) = number_provider(&context) {
+                for id in tokenizer.encode(&text) {
+                    if steps.len() >= spec.max_tokens {
+                        break;
+                    }
+                    steps.push(GenStep {
+                        chosen: id,
+                        chosen_prob: 1.0,
+                        alternatives: vec![TokenAlt { id, prob: 1.0 }],
+                    });
+                    context.push(id);
+                }
+                // The number is complete; only scaffold remains.
+                continue;
+            }
+        }
+        let logits = model.logits(&context);
+        let trace_sampler = Sampler { temperature: 1.0, top_k: 0, top_p: 1.0 };
+        let dist = trace_sampler.distribution(&logits);
+        let (chosen, chosen_prob) = spec.sampler.sample(&logits, &mut rng);
+        if spec.stop_tokens.contains(&chosen) {
+            stopped_naturally = true;
+            break;
+        }
+        let alternatives: Vec<TokenAlt> = dist
+            .into_iter()
+            .filter(|&(_, p)| p >= spec.trace_min_prob)
+            .map(|(id, prob)| TokenAlt { id, prob })
+            .collect();
+        steps.push(GenStep { chosen, chosen_prob, alternatives });
+        context.push(chosen);
+    }
+    GenerationTrace { prompt_len: prompt.len(), steps, stopped_naturally }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::testutil::CycleLm;
+    use lmpeel_tokenizer::Tokenizer;
+
+    fn cycle_model() -> CycleLm {
+        let t = Tokenizer::paper();
+        let cycle = vec![t.encode("a")[0], t.encode("b")[0], t.encode("c")[0]];
+        CycleLm { tokenizer: t, cycle }
+    }
+
+    #[test]
+    fn greedy_follows_the_cycle() {
+        let m = cycle_model();
+        let prompt = m.tokenizer.encode("a");
+        let spec = GenerateSpec {
+            sampler: Sampler::greedy(),
+            max_tokens: 5,
+            stop_tokens: vec![],
+            trace_min_prob: 0.0,
+            seed: 0,
+        };
+        let trace = generate(&m, &prompt, &spec);
+        assert_eq!(trace.decode(&m.tokenizer), "bcabc");
+        assert_eq!(trace.prompt_len, 1);
+        assert!(!trace.stopped_naturally);
+    }
+
+    #[test]
+    fn stop_token_ends_generation_early() {
+        let m = cycle_model();
+        let prompt = m.tokenizer.encode("a");
+        let stop = m.tokenizer.encode("c")[0];
+        let spec = GenerateSpec {
+            sampler: Sampler::greedy(),
+            max_tokens: 10,
+            stop_tokens: vec![stop],
+            trace_min_prob: 0.0,
+            seed: 0,
+        };
+        let trace = generate(&m, &prompt, &spec);
+        assert_eq!(trace.decode(&m.tokenizer), "b");
+        assert!(trace.stopped_naturally);
+    }
+
+    #[test]
+    fn same_seed_reproduces_identical_traces() {
+        let m = cycle_model();
+        let prompt = m.tokenizer.encode("ab");
+        let spec = GenerateSpec::paper(7);
+        let a = generate(&m, &prompt, &spec);
+        let b = generate(&m, &prompt, &spec);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_seeds_can_sample_differently_but_share_token_sets() {
+        let m = cycle_model();
+        let prompt = m.tokenizer.encode("a");
+        let mk = |seed| GenerateSpec {
+            sampler: Sampler { temperature: 2.0, top_k: 0, top_p: 1.0 },
+            max_tokens: 6,
+            stop_tokens: vec![],
+            trace_min_prob: 1e-6,
+            seed,
+        };
+        let a = generate(&m, &prompt, &mk(1));
+        let b = generate(&m, &prompt, &mk(2));
+        // The *feasible sets* at step 0 are identical (model is
+        // deterministic); only the draw may differ.
+        let ids = |t: &GenerationTrace| {
+            t.steps[0].alternatives.iter().map(|x| x.id).collect::<Vec<_>>()
+        };
+        assert_eq!(ids(&a), ids(&b));
+    }
+
+    #[test]
+    fn trace_threshold_prunes_rare_alternatives() {
+        let m = cycle_model();
+        let prompt = m.tokenizer.encode("a");
+        let loose = GenerateSpec {
+            sampler: Sampler { temperature: 1.0, top_k: 0, top_p: 1.0 },
+            max_tokens: 1,
+            stop_tokens: vec![],
+            trace_min_prob: 0.0,
+            seed: 3,
+        };
+        let tight = GenerateSpec { trace_min_prob: 0.5, ..loose.clone() };
+        let full = generate(&m, &prompt, &loose);
+        let pruned = generate(&m, &prompt, &tight);
+        assert!(pruned.steps[0].num_possibilities() <= full.steps[0].num_possibilities());
+        assert!(pruned.steps[0].num_possibilities() >= 1);
+    }
+
+    #[test]
+    fn number_hook_splices_provider_values() {
+        use lmpeel_tokenizer::Tokenizer;
+        // A context that sits at a value onset: the hook must fire and the
+        // provider's digits must appear verbatim with probability 1.
+        struct Flat(Tokenizer);
+        impl crate::model::LanguageModel for Flat {
+            fn tokenizer(&self) -> &Tokenizer {
+                &self.0
+            }
+            fn logits(&self, _c: &[lmpeel_tokenizer::TokenId]) -> Vec<f32> {
+                let mut l = vec![f32::NEG_INFINITY; self.0.vocab().len()];
+                l[self.0.vocab().token_id("\n").unwrap() as usize] = 0.0;
+                l
+            }
+            fn name(&self) -> String {
+                "flat".into()
+            }
+        }
+        let m = Flat(Tokenizer::paper());
+        let prompt = m.0.encode("Performance: ");
+        let spec = GenerateSpec {
+            sampler: Sampler::greedy(),
+            max_tokens: 10,
+            stop_tokens: vec![m.0.vocab().token_id("\n").unwrap()],
+            trace_min_prob: 0.0,
+            seed: 0,
+        };
+        let mut calls = 0;
+        let trace = generate_with_number_hook(&m, &prompt, &spec, |_ctx| {
+            calls += 1;
+            Some("0.0042000".to_string())
+        });
+        assert_eq!(calls, 1, "hook fires exactly once per value");
+        let text = trace.decode(&m.0);
+        assert!(text.starts_with("0.0042000"), "got {text:?}");
+        // Spliced steps are certain.
+        assert!(trace.steps[..5].iter().all(|s| s.chosen_prob == 1.0));
+        assert!(trace.stopped_naturally);
+    }
+
+    #[test]
+    fn number_hook_falls_back_to_the_lm_when_provider_declines() {
+        let m = cycle_model();
+        let prompt = m.tokenizer.encode("a");
+        let spec = GenerateSpec {
+            sampler: Sampler::greedy(),
+            max_tokens: 3,
+            stop_tokens: vec![],
+            trace_min_prob: 0.0,
+            seed: 0,
+        };
+        let plain = generate(&m, &prompt, &spec);
+        let hooked = generate_with_number_hook(&m, &prompt, &spec, |_| None);
+        assert_eq!(plain, hooked, "declining provider must be a no-op");
+    }
+
+    #[test]
+    fn max_tokens_caps_length() {
+        let m = cycle_model();
+        let prompt = m.tokenizer.encode("a");
+        let spec = GenerateSpec { max_tokens: 3, ..GenerateSpec::paper(1) };
+        let trace = generate(&m, &prompt, &spec);
+        assert!(trace.steps.len() <= 3);
+    }
+}

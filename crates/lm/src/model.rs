@@ -1,0 +1,103 @@
+//! The language-model trait.
+
+use lmpeel_tokenizer::{TokenId, Tokenizer};
+
+/// An autoregressive language model exposing raw next-token logits.
+///
+/// Implementations must be deterministic functions of `(model state,
+/// context)`: the experiment driver relies on re-running a context to
+/// reproduce identical logits (the paper's per-seed analyses re-decode the
+/// same generation trace many ways). Any sampling randomness lives in
+/// [`crate::sampler::Sampler`], not the model; any *seed-dependent logit
+/// jitter* (reproducing the paper's Figure 4 observation that "different
+/// seeds often produce identical token sets with slightly altered logit
+/// probabilities") must be keyed by model-owned state fixed at
+/// construction.
+pub trait LanguageModel {
+    /// The tokenizer whose vocabulary the logits are over.
+    fn tokenizer(&self) -> &Tokenizer;
+
+    /// Full-vocabulary logits for the next token after `context`.
+    ///
+    /// The returned vector has exactly `vocab.len()` entries. Values are
+    /// unnormalized log-probabilities; `f32::NEG_INFINITY` marks tokens the
+    /// model cannot produce at all.
+    fn logits(&self, context: &[TokenId]) -> Vec<f32>;
+
+    /// Human-readable model name for reports.
+    fn name(&self) -> String;
+}
+
+/// Blanket impl so `&M` is itself a model (lets callers pass either owned
+/// or borrowed models to the generation loop).
+impl<M: LanguageModel + ?Sized> LanguageModel for &M {
+    fn tokenizer(&self) -> &Tokenizer {
+        (**self).tokenizer()
+    }
+
+    fn logits(&self, context: &[TokenId]) -> Vec<f32> {
+        (**self).logits(context)
+    }
+
+    fn name(&self) -> String {
+        (**self).name()
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod testutil {
+    use super::*;
+
+    /// A deterministic toy model for harness tests: always assigns logit
+    /// `1.0` to the token after the context's last token in a fixed cycle,
+    /// and `0.0` to two distractors.
+    pub struct CycleLm {
+        pub tokenizer: Tokenizer,
+        pub cycle: Vec<TokenId>,
+    }
+
+    impl LanguageModel for CycleLm {
+        fn tokenizer(&self) -> &Tokenizer {
+            &self.tokenizer
+        }
+
+        fn logits(&self, context: &[TokenId]) -> Vec<f32> {
+            let mut logits = vec![f32::NEG_INFINITY; self.tokenizer.vocab().len()];
+            let next = match context.last() {
+                Some(last) => {
+                    let pos = self.cycle.iter().position(|t| t == last).unwrap_or(0);
+                    self.cycle[(pos + 1) % self.cycle.len()]
+                }
+                None => self.cycle[0],
+            };
+            logits[next as usize] = 1.0;
+            // Two low-probability distractors for sampling/trace tests.
+            logits[self.cycle[0] as usize] = logits[self.cycle[0] as usize].max(-2.0);
+            logits[self.cycle[self.cycle.len() - 1] as usize] =
+                logits[self.cycle[self.cycle.len() - 1] as usize].max(-3.0);
+            logits
+        }
+
+        fn name(&self) -> String {
+            "cycle-test-lm".into()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::testutil::CycleLm;
+    use super::*;
+
+    #[test]
+    fn reference_forwarding_works() {
+        let t = Tokenizer::paper();
+        let cycle = vec![t.encode("a")[0], t.encode("b")[0], t.encode("c")[0]];
+        let m = CycleLm { tokenizer: t, cycle };
+        let by_ref: &dyn LanguageModel = &m;
+        assert_eq!(by_ref.name(), "cycle-test-lm");
+        let ctx = m.tokenizer().encode("a");
+        assert_eq!(by_ref.logits(&ctx), m.logits(&ctx));
+        assert_eq!(by_ref.logits(&ctx).len(), m.tokenizer().vocab().len());
+    }
+}

@@ -1,0 +1,159 @@
+//! Machine description for the analytical cost model.
+//!
+//! The paper's data was collected on "a Linux machine with 320GB 2x AMD
+//! EPYC 7742 64-core processor (128 total core), 1 TB DDR4" with Clang 13 +
+//! Polly. The kernel variants studied are single-threaded source-level loop
+//! transformations, so the model describes one Zen 2 core and its cache
+//! slice hierarchy.
+
+/// Hardware parameters consumed by [`crate::costmodel::CostModel`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MachineModel {
+    /// L1 data cache capacity in bytes.
+    pub l1_bytes: f64,
+    /// L2 cache capacity in bytes.
+    pub l2_bytes: f64,
+    /// Effective L3 slice capacity available to one core, in bytes.
+    pub l3_bytes: f64,
+    /// Cache line size in bytes.
+    pub line_bytes: f64,
+    /// Peak single-core double-precision throughput in FLOP/s achievable by
+    /// compiler-vectorized code (not theoretical FMA peak).
+    pub peak_flops: f64,
+    /// Sustained single-core DRAM bandwidth in bytes/s.
+    pub dram_bw: f64,
+    /// Sustained L3 bandwidth in bytes/s.
+    pub l3_bw: f64,
+    /// Sustained L2 bandwidth in bytes/s.
+    pub l2_bw: f64,
+    /// Multiplicative penalty for large-stride (column-major) streams that
+    /// defeat the hardware prefetcher and thrash the TLB, at the point where
+    /// the stride spans a 4 KiB page.
+    pub stride_penalty_max: f64,
+}
+
+impl MachineModel {
+    /// Zen 2 (EPYC 7742) single-core parameters.
+    ///
+    /// L1d 32 KiB, L2 512 KiB, L3 16 MiB per CCX (4 cores) — we grant one
+    /// core an effective 8 MiB share. Peak vectorized DP throughput is set
+    /// to 16 GFLOP/s (AVX2, 2×256-bit FMA pipes at 2.25 GHz derated for
+    /// non-GEMM code); bandwidths follow published STREAM-like single-core
+    /// figures.
+    pub fn epyc_7742() -> Self {
+        Self {
+            l1_bytes: 32.0 * 1024.0,
+            l2_bytes: 512.0 * 1024.0,
+            l3_bytes: 8.0 * 1024.0 * 1024.0,
+            line_bytes: 64.0,
+            peak_flops: 16.0e9,
+            dram_bw: 20.0e9,
+            l3_bw: 80.0e9,
+            l2_bw: 200.0e9,
+            stride_penalty_max: 4.0,
+        }
+    }
+
+    /// Bandwidth (bytes/s) of the smallest cache level that can hold a
+    /// working set of `bytes`, interpolating smoothly between levels so the
+    /// cost model has no cliffs (real caches have gradual associativity and
+    /// prefetch effects).
+    pub fn bandwidth_for(&self, bytes: f64) -> f64 {
+        // Smooth interpolation in log-space between (capacity, bandwidth)
+        // knee points, clamping at L2 speed on the fast end and DRAM speed
+        // on the slow end.
+        let knees = [
+            (self.l2_bytes, self.l2_bw),
+            (self.l3_bytes, self.l3_bw),
+            (self.l3_bytes * 4.0, self.dram_bw),
+        ];
+        if bytes <= knees[0].0 {
+            return knees[0].1;
+        }
+        for w in knees.windows(2) {
+            let (c0, b0) = w[0];
+            let (c1, b1) = w[1];
+            if bytes <= c1 {
+                let t = (bytes.ln() - c0.ln()) / (c1.ln() - c0.ln());
+                return (b0.ln() * (1.0 - t) + b1.ln() * t).exp();
+            }
+        }
+        self.dram_bw
+    }
+
+    /// Stride penalty multiplier for a stream with the given element stride
+    /// in bytes: 1.0 for unit stride, rising smoothly toward
+    /// [`Self::stride_penalty_max`] once strides span a page.
+    pub fn stride_penalty(&self, stride_bytes: f64) -> f64 {
+        if stride_bytes <= self.line_bytes {
+            return 1.0;
+        }
+        let page = 4096.0;
+        let x = (stride_bytes / page).min(1.0);
+        1.0 + (self.stride_penalty_max - 1.0) * x.sqrt()
+    }
+}
+
+impl Default for MachineModel {
+    fn default() -> Self {
+        Self::epyc_7742()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bandwidth_is_monotone_nonincreasing() {
+        let m = MachineModel::epyc_7742();
+        let mut prev = f64::INFINITY;
+        let mut bytes = 1024.0;
+        while bytes < 1e10 {
+            let bw = m.bandwidth_for(bytes);
+            assert!(bw <= prev + 1e-6, "bandwidth rose at {bytes} bytes");
+            assert!(bw >= m.dram_bw * 0.99, "below DRAM floor at {bytes}");
+            assert!(bw <= m.l2_bw * 1.01);
+            prev = bw;
+            bytes *= 1.5;
+        }
+    }
+
+    #[test]
+    fn small_working_sets_run_at_l2_speed() {
+        let m = MachineModel::epyc_7742();
+        assert_eq!(m.bandwidth_for(1.0), m.l2_bw);
+        assert_eq!(m.bandwidth_for(m.l2_bytes), m.l2_bw);
+    }
+
+    #[test]
+    fn huge_working_sets_run_at_dram_speed() {
+        let m = MachineModel::epyc_7742();
+        assert_eq!(m.bandwidth_for(1e12), m.dram_bw);
+    }
+
+    #[test]
+    fn interpolation_hits_knee_points() {
+        let m = MachineModel::epyc_7742();
+        let bw = m.bandwidth_for(m.l3_bytes);
+        assert!((bw - m.l3_bw).abs() / m.l3_bw < 1e-9);
+    }
+
+    #[test]
+    fn stride_penalty_bounds() {
+        let m = MachineModel::epyc_7742();
+        assert_eq!(m.stride_penalty(8.0), 1.0, "unit stride free");
+        assert_eq!(m.stride_penalty(64.0), 1.0, "within a line free");
+        let p_page = m.stride_penalty(4096.0);
+        assert!((p_page - m.stride_penalty_max).abs() < 1e-9);
+        let p_mid = m.stride_penalty(1024.0);
+        assert!(p_mid > 1.0 && p_mid < m.stride_penalty_max);
+        // saturates beyond a page
+        assert_eq!(m.stride_penalty(1e9), m.stride_penalty_max);
+    }
+
+    #[test]
+    fn default_is_epyc() {
+        assert_eq!(MachineModel::default(), MachineModel::epyc_7742());
+    }
+}

@@ -1,0 +1,31 @@
+//! Statistics and metrics substrate for the LM-Peel reproduction.
+//!
+//! The paper evaluates every predictor — the XGBoost-style baseline, the
+//! language model, and the hypothetical post-hoc decoders — with the same
+//! three regression metrics: the coefficient of determination ([`r2_score`]),
+//! Mean Absolute Relative Error ([`mare`]) and Mean Squared Relative Error
+//! ([`msre`]). It then aggregates per-experiment metrics across all settings
+//! with Central-Limit-Theorem style summaries (§IV-A). This crate provides
+//! those primitives plus supporting machinery: streaming [`summary::Welford`]
+//! accumulators, [`histogram`]s for the figure reproductions, weighted
+//! [`quantile`](histogram::weighted_quantile) extraction for the
+//! mean/median-decoding study (§IV-C), relative-error "needle" counting
+//! (§IV-C.1), and deterministic seedable RNG plumbing used by every crate in
+//! the workspace.
+//!
+//! Everything here is dependency-light and deterministic; no wall-clock, no
+//! global state.
+
+#![warn(missing_docs)]
+
+pub mod histogram;
+pub mod metrics;
+pub mod needle;
+pub mod rng;
+pub mod summary;
+
+pub use histogram::{Histogram, HistogramSpec};
+pub use metrics::{mae, mare, mse, msre, r2_score, relative_error, rmse, spearman, RegressionReport};
+pub use needle::{needle_fraction, NeedleReport};
+pub use rng::{derive_seed, seeded_rng, SeedDomain};
+pub use summary::{CltInterval, Summary, Welford};

@@ -1,0 +1,246 @@
+//! Dense row-major f32 matrices with parallel matmul.
+
+use rayon::prelude::*;
+
+/// A dense row-major `rows x cols` f32 matrix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Tensor2 {
+    rows: usize,
+    cols: usize,
+    data: Vec<f32>,
+}
+
+impl Tensor2 {
+    /// Zero-filled matrix.
+    ///
+    /// # Panics
+    /// Panics if either dimension is zero.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        assert!(rows > 0 && cols > 0, "tensor dimensions must be positive");
+        Self { rows, cols, data: vec![0.0; rows * cols] }
+    }
+
+    /// Build from a flat row-major vector.
+    ///
+    /// # Panics
+    /// Panics if `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f32>) -> Self {
+        assert_eq!(data.len(), rows * cols, "flat data length mismatch");
+        assert!(rows > 0 && cols > 0, "tensor dimensions must be positive");
+        Self { rows, cols, data }
+    }
+
+    /// Build by evaluating `f(row, col)`.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> f32) -> Self {
+        let mut t = Self::zeros(rows, cols);
+        for i in 0..rows {
+            for j in 0..cols {
+                t.data[i * cols + j] = f(i, j);
+            }
+        }
+        t
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Borrow row `i`.
+    #[inline]
+    pub fn row(&self, i: usize) -> &[f32] {
+        &self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Mutably borrow row `i`.
+    #[inline]
+    pub fn row_mut(&mut self, i: usize) -> &mut [f32] {
+        &mut self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Flat row-major storage.
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Element accessor.
+    #[inline]
+    pub fn get(&self, i: usize, j: usize) -> f32 {
+        debug_assert!(i < self.rows && j < self.cols);
+        self.data[i * self.cols + j]
+    }
+
+    /// Element setter.
+    #[inline]
+    pub fn set(&mut self, i: usize, j: usize, v: f32) {
+        debug_assert!(i < self.rows && j < self.cols);
+        self.data[i * self.cols + j] = v;
+    }
+
+    /// Transposed copy.
+    pub fn transposed(&self) -> Tensor2 {
+        let mut t = Tensor2::zeros(self.cols, self.rows);
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                t.data[j * self.rows + i] = self.data[i * self.cols + j];
+            }
+        }
+        t
+    }
+
+    /// `y = self * x` for a column vector `x` (len = cols).
+    ///
+    /// # Panics
+    /// Panics on dimension mismatch.
+    pub fn matvec(&self, x: &[f32]) -> Vec<f32> {
+        assert_eq!(x.len(), self.cols, "matvec dimension mismatch");
+        (0..self.rows)
+            .map(|i| dot(self.row(i), x))
+            .collect()
+    }
+
+    /// `self * other`, rayon-parallel over result rows.
+    ///
+    /// # Panics
+    /// Panics on inner-dimension mismatch.
+    pub fn matmul(&self, other: &Tensor2) -> Tensor2 {
+        assert_eq!(self.cols, other.rows, "matmul inner dimension mismatch");
+        let n = other.cols;
+        let mut out = Tensor2::zeros(self.rows, n);
+        // Parallel over output rows; each row is an accumulate-over-k walk
+        // with unit-stride access to `other`'s rows (i-k-j loop order).
+        out.data
+            .par_chunks_mut(n)
+            .enumerate()
+            .for_each(|(i, out_row)| {
+                let a_row = self.row(i);
+                for (k, &aik) in a_row.iter().enumerate() {
+                    if aik == 0.0 {
+                        continue;
+                    }
+                    let b_row = other.row(k);
+                    for (o, &b) in out_row.iter_mut().zip(b_row) {
+                        *o += aik * b;
+                    }
+                }
+            });
+        out
+    }
+
+    /// Frobenius norm.
+    pub fn frobenius(&self) -> f32 {
+        self.data.iter().map(|x| x * x).sum::<f32>().sqrt()
+    }
+
+    /// Maximum absolute element difference.
+    ///
+    /// # Panics
+    /// Panics on dimension mismatch.
+    pub fn max_abs_diff(&self, other: &Tensor2) -> f32 {
+        assert_eq!((self.rows, self.cols), (other.rows, other.cols));
+        self.data
+            .iter()
+            .zip(&other.data)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0, f32::max)
+    }
+}
+
+/// Dot product of equal-length slices.
+#[inline]
+pub fn dot(a: &[f32], b: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn naive_matmul(a: &Tensor2, b: &Tensor2) -> Tensor2 {
+        let mut c = Tensor2::zeros(a.rows(), b.cols());
+        for i in 0..a.rows() {
+            for j in 0..b.cols() {
+                let mut s = 0.0;
+                for k in 0..a.cols() {
+                    s += a.get(i, k) * b.get(k, j);
+                }
+                c.set(i, j, s);
+            }
+        }
+        c
+    }
+
+    #[test]
+    fn matmul_matches_naive() {
+        let a = Tensor2::from_fn(7, 5, |i, j| ((i * 31 + j * 7) % 13) as f32 - 6.0);
+        let b = Tensor2::from_fn(5, 9, |i, j| ((i * 17 + j * 3) % 11) as f32 - 5.0);
+        let fast = a.matmul(&b);
+        let slow = naive_matmul(&a, &b);
+        assert!(fast.max_abs_diff(&slow) < 1e-4);
+    }
+
+    #[test]
+    fn matvec_matches_matmul_column() {
+        let a = Tensor2::from_fn(6, 4, |i, j| (i + 2 * j) as f32);
+        let x = vec![1.0, -2.0, 0.5, 3.0];
+        let y = a.matvec(&x);
+        let xm = Tensor2::from_vec(4, 1, x);
+        let ym = a.matmul(&xm);
+        for (i, &yi) in y.iter().enumerate() {
+            assert!((yi - ym.get(i, 0)).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn identity_matmul_is_identity() {
+        let a = Tensor2::from_fn(4, 4, |i, j| (i * 4 + j) as f32);
+        let eye = Tensor2::from_fn(4, 4, |i, j| if i == j { 1.0 } else { 0.0 });
+        assert_eq!(a.matmul(&eye), a);
+        assert_eq!(eye.matmul(&a), a);
+    }
+
+    #[test]
+    fn transpose_involution_and_shape() {
+        let a = Tensor2::from_fn(3, 5, |i, j| (i * 5 + j) as f32);
+        let t = a.transposed();
+        assert_eq!(t.rows(), 5);
+        assert_eq!(t.cols(), 3);
+        assert_eq!(t.transposed(), a);
+        assert_eq!(t.get(4, 2), a.get(2, 4));
+    }
+
+    #[test]
+    fn rows_are_contiguous_views() {
+        let mut a = Tensor2::zeros(2, 3);
+        a.row_mut(1).copy_from_slice(&[1.0, 2.0, 3.0]);
+        assert_eq!(a.row(1), &[1.0, 2.0, 3.0]);
+        assert_eq!(a.row(0), &[0.0, 0.0, 0.0]);
+        assert_eq!(a.data()[3..], [1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "inner dimension")]
+    fn matmul_shape_mismatch_panics() {
+        let a = Tensor2::zeros(2, 3);
+        let b = Tensor2::zeros(2, 3);
+        let _ = a.matmul(&b);
+    }
+
+    #[test]
+    #[should_panic(expected = "flat data length")]
+    fn from_vec_length_checked() {
+        let _ = Tensor2::from_vec(2, 2, vec![0.0; 5]);
+    }
+
+    #[test]
+    fn dot_basics() {
+        assert_eq!(dot(&[1.0, 2.0], &[3.0, 4.0]), 11.0);
+        assert_eq!(dot(&[], &[]), 0.0);
+    }
+}

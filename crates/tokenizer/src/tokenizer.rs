@@ -1,0 +1,247 @@
+//! Greedy longest-match encoding and exact decoding.
+
+use crate::vocab::{TokenId, Vocab};
+
+/// One encoded token with its source byte range.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TokenSpan {
+    /// Token id.
+    pub id: TokenId,
+    /// Start byte offset in the source text.
+    pub start: usize,
+    /// End byte offset (exclusive).
+    pub end: usize,
+}
+
+/// Greedy longest-match tokenizer over a [`Vocab`].
+///
+/// At each position the longest vocabulary entry matching the remaining
+/// text is consumed; ties cannot occur because entries are exact strings.
+/// Special tokens are never produced by scanning — they are inserted
+/// programmatically via [`Tokenizer::special`]. Bytes with no printable
+/// token fall back to `<0xNN>` byte tokens, so every input encodes and
+/// decodes losslessly.
+#[derive(Debug, Clone)]
+pub struct Tokenizer {
+    vocab: Vocab,
+}
+
+impl Tokenizer {
+    /// Wrap a vocabulary.
+    pub fn new(vocab: Vocab) -> Self {
+        Self { vocab }
+    }
+
+    /// Tokenizer over the paper vocabulary.
+    pub fn paper() -> Self {
+        Self::new(Vocab::paper())
+    }
+
+    /// The underlying vocabulary.
+    pub fn vocab(&self) -> &Vocab {
+        &self.vocab
+    }
+
+    /// Id of a special token string.
+    ///
+    /// # Panics
+    /// Panics if `s` is not a registered special token.
+    pub fn special(&self, s: &str) -> TokenId {
+        let id = self
+            .vocab
+            .token_id(s)
+            .unwrap_or_else(|| panic!("unknown special token {s:?}"));
+        assert!(self.vocab.is_special(id), "{s:?} is not a special token");
+        id
+    }
+
+    /// Encode text to token ids.
+    pub fn encode(&self, text: &str) -> Vec<TokenId> {
+        self.encode_spans(text).into_iter().map(|s| s.id).collect()
+    }
+
+    /// Encode text, tracking each token's source byte range.
+    pub fn encode_spans(&self, text: &str) -> Vec<TokenSpan> {
+        let bytes = text.as_bytes();
+        let mut out = Vec::with_capacity(bytes.len() / 3 + 1);
+        let mut pos = 0;
+        let max_len = self.vocab.max_token_len();
+        while pos < bytes.len() {
+            let mut matched: Option<(TokenId, usize)> = None;
+            let limit = if text.is_char_boundary(pos) {
+                max_len.min(bytes.len() - pos)
+            } else {
+                // Mid-character position (a previous byte fallback split a
+                // multi-byte char): only byte fallback can apply here.
+                0
+            };
+            // Longest match first; skip boundaries that split UTF-8 chars.
+            for len in (1..=limit).rev() {
+                if !text.is_char_boundary(pos + len) {
+                    continue;
+                }
+                let cand = &text[pos..pos + len];
+                if let Some(id) = self.vocab.token_id(cand) {
+                    // Scanning never yields special tokens.
+                    if !self.vocab.is_special(id) {
+                        matched = Some((id, len));
+                        break;
+                    }
+                }
+            }
+            let (id, len) = matched.unwrap_or_else(|| {
+                // Byte fallback: guaranteed to exist for every byte value.
+                let esc = format!("<0x{:02X}>", bytes[pos]);
+                (self.vocab.token_id(&esc).expect("byte token exists"), 1)
+            });
+            out.push(TokenSpan { id, start: pos, end: pos + len });
+            pos += len;
+        }
+        out
+    }
+
+    /// Decode token ids back to text. Special tokens render as their marker
+    /// strings; byte-fallback tokens render as their raw byte.
+    pub fn decode(&self, ids: &[TokenId]) -> String {
+        let mut bytes: Vec<u8> = Vec::new();
+        for &id in ids {
+            let s = self.vocab.token_str(id);
+            if let Some(b) = parse_byte_escape(s) {
+                bytes.push(b);
+            } else {
+                bytes.extend_from_slice(s.as_bytes());
+            }
+        }
+        String::from_utf8_lossy(&bytes).into_owned()
+    }
+}
+
+fn parse_byte_escape(s: &str) -> Option<u8> {
+    let hex = s.strip_prefix("<0x")?.strip_suffix('>')?;
+    u8::from_str_radix(hex, 16).ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vocab::{BOS, EOS};
+    use proptest::prelude::*;
+
+    fn tok() -> Tokenizer {
+        Tokenizer::paper()
+    }
+
+    #[test]
+    fn digit_runs_group_in_threes_from_the_left() {
+        let t = tok();
+        let ids = t.encode("0.0022155");
+        let strs: Vec<&str> = ids.iter().map(|&i| t.vocab().token_str(i)).collect();
+        assert_eq!(strs, vec!["0", ".", "002", "215", "5"]);
+    }
+
+    #[test]
+    fn second_token_of_sub_second_runtime_is_the_period() {
+        let t = tok();
+        for v in ["0.0022155", "0.0105292", "0.5", "0.1234567"] {
+            let ids = t.encode(v);
+            assert_eq!(t.vocab().token_str(ids[1]), ".", "value {v}");
+            assert_eq!(t.vocab().token_str(ids[0]).len(), 1, "leading digit token");
+        }
+    }
+
+    #[test]
+    fn xl_runtime_first_token_is_whole_seconds() {
+        let t = tok();
+        let ids = t.encode("2.7341093");
+        let strs: Vec<&str> = ids.iter().map(|&i| t.vocab().token_str(i)).collect();
+        assert_eq!(strs, vec!["2", ".", "734", "109", "3"]);
+    }
+
+    #[test]
+    fn words_match_longest_first() {
+        let t = tok();
+        let ids = t.encode("Performance: 0.5");
+        let strs: Vec<&str> = ids.iter().map(|&i| t.vocab().token_str(i)).collect();
+        // "Performance" must be one token (learned), not characters.
+        assert!(strs.contains(&"Performance"), "got {strs:?}");
+        assert!(strs.len() < "Performance: 0.5".len() / 2);
+    }
+
+    #[test]
+    fn roundtrip_figure1_example_line() {
+        let t = tok();
+        let text = "Hyperparameter configuration: size is SM, first_array_packed is True, \
+                    second_array_packed is False, interchange_first_two_loops is False, \
+                    outer_loop_tiling_factor is 80, middle_loop_tiling_factor is 64, \
+                    inner_loop_tiling_factor is 100\nPerformance: 0.0022155";
+        assert_eq!(t.decode(&t.encode(text)), text);
+    }
+
+    #[test]
+    fn specials_are_never_scanned_but_decode_back() {
+        let t = tok();
+        let ids = t.encode(BOS);
+        // Scanning the literal marker text must NOT produce the special id.
+        assert!(ids.iter().all(|&id| !t.vocab().is_special(id)));
+        assert_eq!(t.decode(&ids), BOS);
+        // Programmatic insertion round-trips too.
+        let seq = vec![t.special(BOS), t.encode("hi")[0], t.special(EOS)];
+        assert!(t.decode(&seq).starts_with(BOS));
+    }
+
+    #[test]
+    fn spans_tile_the_input_exactly() {
+        let t = tok();
+        let text = "Performance: 3.1415926 end\n";
+        let spans = t.encode_spans(text);
+        let mut pos = 0;
+        for s in &spans {
+            assert_eq!(s.start, pos, "gap before token {s:?}");
+            assert!(s.end > s.start);
+            pos = s.end;
+        }
+        assert_eq!(pos, text.len());
+    }
+
+    #[test]
+    fn non_ascii_bytes_fall_back() {
+        let t = tok();
+        let text = "π ≈ 3.14";
+        let round = t.decode(&t.encode(text));
+        assert_eq!(round, text);
+    }
+
+    #[test]
+    fn unknown_special_panics() {
+        let t = tok();
+        let r = std::panic::catch_unwind(|| t.special("<|nope|>"));
+        assert!(r.is_err());
+    }
+
+    proptest! {
+        #[test]
+        fn roundtrip_arbitrary_ascii(s in "[ -~\n\t]{0,200}") {
+            let t = tok();
+            prop_assert_eq!(t.decode(&t.encode(&s)), s);
+        }
+
+        #[test]
+        fn roundtrip_arbitrary_unicode(s in "\\PC{0,60}") {
+            let t = tok();
+            prop_assert_eq!(t.decode(&t.encode(&s)), s);
+        }
+
+        #[test]
+        fn decimal_values_tokenize_canonically(int in 0u32..10, frac in 0u64..10_000_000u64) {
+            let t = tok();
+            let text = format!("{int}.{frac:07}");
+            let ids = t.encode(&text);
+            // leading digit, period, then 3+3+1 digit groups
+            prop_assert_eq!(ids.len(), 5);
+            prop_assert_eq!(t.vocab().token_str(ids[1]), ".");
+            prop_assert_eq!(t.vocab().token_str(ids[2]).len(), 3);
+            prop_assert_eq!(t.vocab().token_str(ids[3]).len(), 3);
+            prop_assert_eq!(t.vocab().token_str(ids[4]).len(), 1);
+        }
+    }
+}

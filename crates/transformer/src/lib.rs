@@ -1,0 +1,37 @@
+//! A transformer inference engine whose weights are *constructed* to
+//! implement the induction-head circuit.
+//!
+//! The `InductionLm` surrogate in `lmpeel-lm` models the paper's LLM
+//! behaviour algorithmically. This crate cross-validates that model
+//! *mechanistically*: it implements real scaled-dot-product causal
+//! attention over a residual stream and instantiates the classic two-layer
+//! induction-head construction (Olsson et al., "In-context Learning and
+//! Induction Heads"):
+//!
+//! * **layer 1 — previous-token head**: rotary positional queries are
+//!   rotated back one step, so position `p` attends to `p-1` and copies
+//!   that token's signature into a dedicated residual subspace;
+//! * **layer 2 — induction head**: queries carry the current token's
+//!   signature and keys carry each position's *previous-token* signature,
+//!   so the head attends to tokens that followed earlier occurrences of the
+//!   current token and copies them into the output subspace;
+//! * **unembedding**: logits are signature dot-products against the output
+//!   subspace.
+//!
+//! On the paper's prompts this machine parrots in-context example values —
+//! the same behaviour the paper attributes to the 8B-parameter LLM — with
+//! every arithmetic step (QK products, softmax, value mixing) computed for
+//! real. It implements [`lmpeel_lm::LanguageModel`], so the whole
+//! experiment pipeline can run against it.
+
+#![warn(missing_docs)]
+
+pub mod attention;
+pub mod model;
+pub mod session;
+pub mod signature;
+
+pub use attention::causal_attention;
+pub use model::{InductionTransformer, TransformerConfig};
+pub use session::TransformerSession;
+pub use signature::{position_encoding, rotate_back, token_signature};

@@ -1,0 +1,210 @@
+//! Incremental decoding sessions (the KV-cache path).
+//!
+//! [`crate::model::InductionTransformer::logits`] recomputes the full
+//! forward pass per call — O(T²) attention for every generated token. A
+//! [`TransformerSession`] caches what the architecture allows:
+//!
+//! * layer 1 (previous-token head) writes `S1[p]`, which depends only on
+//!   positions `0..=p` — appending a token appends one cached row;
+//! * layer 2 (induction head) only ever queries from the *final* position,
+//!   so each step is one O(T·d) attention row over the cached keys.
+//!
+//! Appending one token is therefore O(T·d) instead of O(T²·d), the same
+//! asymptotic win a production KV cache gives a decoder-only transformer.
+
+use crate::attention::causal_attention;
+use crate::model::{InductionTransformer, TransformerConfig};
+use crate::signature::{position_encoding, rotate_back};
+use lmpeel_tensor::Tensor2;
+use lmpeel_tokenizer::TokenId;
+
+/// An incremental decoding session over an [`InductionTransformer`].
+#[derive(Debug, Clone)]
+pub struct TransformerSession<'m> {
+    model: &'m InductionTransformer,
+    /// Tokens consumed so far.
+    tokens: Vec<TokenId>,
+    /// Cached token signatures (S0), one row per position.
+    s0_rows: Vec<Vec<f32>>,
+    /// Cached previous-token signatures (S1), one row per position.
+    s1_rows: Vec<Vec<f32>>,
+    /// Cached positional encodings.
+    pos_rows: Vec<Vec<f32>>,
+}
+
+impl<'m> TransformerSession<'m> {
+    /// Start an empty session.
+    ///
+    /// # Panics
+    /// Panics for `match_ngram > 1` models — the incremental cache
+    /// currently implements the classic 1-gram circuit only.
+    pub fn new(model: &'m InductionTransformer) -> Self {
+        assert_eq!(
+            model.config().match_ngram,
+            1,
+            "incremental sessions support match_ngram = 1 only"
+        );
+        Self {
+            model,
+            tokens: Vec::new(),
+            s0_rows: Vec::new(),
+            s1_rows: Vec::new(),
+            pos_rows: Vec::new(),
+        }
+    }
+
+    /// Number of tokens consumed.
+    pub fn len(&self) -> usize {
+        self.tokens.len()
+    }
+
+    /// Whether the session is empty.
+    pub fn is_empty(&self) -> bool {
+        self.tokens.is_empty()
+    }
+
+    fn cfg(&self) -> TransformerConfig {
+        self.model.config()
+    }
+
+    /// Append one token, updating the caches in O(T·d).
+    pub fn append(&mut self, token: TokenId) {
+        let cfg = self.cfg();
+        let p = self.tokens.len();
+        self.tokens.push(token);
+        self.s0_rows.push(self.model.signature_of(token));
+        self.pos_rows.push(position_encoding(p, cfg.rope_pairs));
+
+        // Layer-1 row for position p: attend over pos rows 0..=p with the
+        // rotated query; copy S0 of the attended position.
+        if p == 0 {
+            // No previous token; see the model's forward pass.
+            self.s1_rows.push(vec![0.0; cfg.d_sig]);
+            return;
+        }
+        let d_pos = 2 * cfg.rope_pairs;
+        let q = Tensor2::from_vec(1, d_pos, rotate_back(&self.pos_rows[p], 1));
+        let mut k = Tensor2::zeros(p + 1, d_pos);
+        let mut v = Tensor2::zeros(p + 1, cfg.d_sig);
+        for j in 0..=p {
+            k.row_mut(j).copy_from_slice(&self.pos_rows[j]);
+            v.row_mut(j).copy_from_slice(&self.s0_rows[j]);
+        }
+        let out = causal_attention(&q, &k, &v, cfg.beta_prev);
+        self.s1_rows.push(out.row(0).to_vec());
+    }
+
+    /// Append a slice of tokens.
+    pub fn extend(&mut self, tokens: &[TokenId]) {
+        for &t in tokens {
+            self.append(t);
+        }
+    }
+
+    /// Next-token logits at the current position — one induction-head
+    /// attention row over the cached keys (O(T·d)).
+    ///
+    /// # Panics
+    /// Panics on an empty session.
+    pub fn logits(&self) -> Vec<f32> {
+        assert!(!self.tokens.is_empty(), "session has no context");
+        let cfg = self.cfg();
+        let t = self.tokens.len();
+        let d_sig = cfg.d_sig;
+        // Sink-augmented induction attention, mirroring the batch forward.
+        let mut q = Tensor2::zeros(1, d_sig + 1);
+        q.row_mut(0)[..d_sig].copy_from_slice(&self.s0_rows[t - 1]);
+        q.row_mut(0)[d_sig] = 1.0;
+        let mut k = Tensor2::zeros(t + 1, d_sig + 1);
+        k.row_mut(0)[d_sig] = cfg.sink_score / cfg.beta_induct;
+        let mut v = Tensor2::zeros(t + 1, d_sig);
+        for p in 0..t {
+            k.row_mut(p + 1)[..d_sig].copy_from_slice(&self.s1_rows[p]);
+            v.row_mut(p + 1).copy_from_slice(&self.s0_rows[p]);
+        }
+        let out = causal_attention(&q, &k, &v, cfg.beta_induct);
+        self.model.unembed(out.row(0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lmpeel_lm::LanguageModel;
+
+    fn model() -> InductionTransformer {
+        InductionTransformer::paper()
+    }
+
+    #[test]
+    fn incremental_matches_batch_forward() {
+        let m = model();
+        let ids = m.tokenizer().encode(" loop tile packing array loop tile size loop");
+        let mut session = TransformerSession::new(&m);
+        for (i, &tok) in ids.iter().enumerate() {
+            session.append(tok);
+            let inc = session.logits();
+            let batch = m.logits(&ids[..=i]);
+            let max_diff = inc
+                .iter()
+                .zip(&batch)
+                .map(|(a, b)| (a - b).abs())
+                .fold(0.0f32, f32::max);
+            assert!(
+                max_diff < 1e-4,
+                "prefix {i}: incremental/batch diverged by {max_diff}"
+            );
+        }
+    }
+
+    #[test]
+    fn extend_equals_repeated_append() {
+        let m = model();
+        let ids = m.tokenizer().encode(" outer middle inner outer");
+        let mut a = TransformerSession::new(&m);
+        a.extend(&ids);
+        let mut b = TransformerSession::new(&m);
+        for &t in &ids {
+            b.append(t);
+        }
+        assert_eq!(a.len(), b.len());
+        assert_eq!(a.logits(), b.logits());
+    }
+
+    #[test]
+    fn session_tracks_length() {
+        let m = model();
+        let mut s = TransformerSession::new(&m);
+        assert!(s.is_empty());
+        s.append(10);
+        s.append(11);
+        assert_eq!(s.len(), 2);
+        assert!(!s.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "no context")]
+    fn empty_session_logits_panic() {
+        let m = model();
+        let s = TransformerSession::new(&m);
+        let _ = s.logits();
+    }
+
+    #[test]
+    fn incremental_generation_continues_induction() {
+        // Greedy-generate two tokens incrementally; the repeated-phrase
+        // continuation must match the batch path.
+        let m = model();
+        let prompt = m.tokenizer().encode(" outer middle inner outer");
+        let mut session = TransformerSession::new(&m);
+        session.extend(&prompt);
+        let mut out = String::new();
+        for _ in 0..2 {
+            let logits = session.logits();
+            let best = lmpeel_tensor::argmax(&logits).unwrap() as TokenId;
+            out.push_str(m.tokenizer().vocab().token_str(best));
+            session.append(best);
+        }
+        assert!(out.starts_with(" middle"), "got {out:?}");
+    }
+}

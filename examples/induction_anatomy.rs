@@ -1,0 +1,78 @@
+//! Anatomy of in-context parroting: drive the *constructed-weights
+//! transformer* (real attention arithmetic, hand-built induction-head
+//! circuit) and the calibrated `InductionLm` side by side on the same
+//! LLAMBO-style prompt, showing that both parrot in-context values — the
+//! paper's central mechanism.
+//!
+//! ```text
+//! cargo run --release --example induction_anatomy
+//! ```
+
+use lm_peel::lm::{InductionLm, LanguageModel, Sampler};
+use lm_peel::transformer::InductionTransformer;
+
+const PROMPT: &str = "\
+tile is 80\nPerformance: 0.0022155\n\
+tile is 16\nPerformance: 0.0051230\n\
+tile is 96\nPerformance: 0.0029771\n\
+tile is 128\nPerformance: ";
+
+fn top_candidates<M: LanguageModel>(model: &M, text: &str, k: usize) -> Vec<(String, f32)> {
+    let tok = model.tokenizer();
+    let ids = tok.encode(text);
+    let logits = model.logits(&ids);
+    let dist = Sampler { temperature: 1.0, top_k: 0, top_p: 1.0 }.distribution(&logits);
+    dist.into_iter()
+        .take(k)
+        .map(|(id, p)| (tok.vocab().token_str(id).to_string(), p))
+        .collect()
+}
+
+fn main() {
+    println!("prompt:\n{PROMPT}\n");
+
+    // 1. The two-layer transformer with constructed induction-head weights:
+    //    every QK product, softmax and value mix is computed for real.
+    let transformer = InductionTransformer::paper();
+    println!("[{}]", transformer.name());
+    for (tok, p) in top_candidates(&transformer, PROMPT, 4) {
+        println!("  {tok:?} p={p:.4}");
+    }
+    println!("  -> the induction head attends to tokens that followed earlier");
+    println!("     'Performance: ' occurrences and copies the value onset.\n");
+
+    // 2. The calibrated surrogate: same qualitative behaviour, plus the
+    //    magnitude prior, numeric smearing and seed-keyed jitter the paper
+    //    documents for Llama 3.1 8B.
+    for seed in 0..3u64 {
+        let lm = InductionLm::paper(seed);
+        let cands = top_candidates(&lm, PROMPT, 4);
+        let rendered: Vec<String> =
+            cands.iter().map(|(t, p)| format!("{t:?} p={p:.4}")).collect();
+        println!("[{}]  {}", lm.name(), rendered.join("  "));
+    }
+    println!(
+        "  -> identical candidate sets across seeds with trivially different\n\
+        probabilities (the paper's Figure 4 observation).\n"
+    );
+
+    // 3. Walk the value digit by digit with the surrogate: the second token
+    //    is always the period; fraction positions fan out over digit groups
+    //    clustered on ICL prefixes (Table II / Figure 3).
+    let mut ctx = PROMPT.to_string();
+    let lm = InductionLm::paper(0);
+    for step in 0..4 {
+        let cands = top_candidates(&lm, &ctx, 3);
+        let best = cands[0].0.clone();
+        println!(
+            "step {step}: top = {}",
+            cands
+                .iter()
+                .map(|(t, p)| format!("{t:?}({p:.3})"))
+                .collect::<Vec<_>>()
+                .join(" ")
+        );
+        ctx.push_str(&best);
+    }
+    println!("\ngreedy value so far: {:?}", &ctx[PROMPT.len()..]);
+}

@@ -1,0 +1,69 @@
+//! Quickstart: ask the LLM surrogate to predict a syr2k runtime from
+//! in-context examples, the paper's core experimental unit.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use lm_peel::core::decoding::{value_distribution, value_span};
+use lm_peel::core::extract::extract_value;
+use lm_peel::core::prompt::PromptBuilder;
+use lm_peel::lm::{generate, GenerateSpec, InductionLm, LanguageModel, Sampler};
+use lm_peel::perfdata::{icl_replicas, CostModel, PerfDataset};
+use lm_peel::stats::relative_error;
+use lm_peel::tokenizer::EOS;
+
+fn main() {
+    // 1. The "empirical" dataset: all 10,648 configurations at size SM.
+    let dataset = PerfDataset::generate(&CostModel::paper(), lm_peel::configspace::ArraySize::SM);
+    println!(
+        "dataset: {} configurations, runtimes {}",
+        dataset.len(),
+        dataset.summary()
+    );
+
+    // 2. An ICL task: 10 labelled examples plus a held-out query.
+    let set = icl_replicas(&dataset, 10, 1, 7).remove(0);
+    let builder = PromptBuilder::new(dataset.space().clone(), dataset.size());
+    let prompt = builder.for_icl_set(&set);
+    println!("\n--- prompt tail ---");
+    let tail: String = prompt.user.lines().rev().take(3).collect::<Vec<_>>().join("\n");
+    println!("...{tail}\n{}", prompt.primer);
+
+    // 3. Generate with the calibrated induction surrogate (logit access
+    //    included, as in the paper's local-Llama harness).
+    let model = InductionLm::paper(0);
+    let tok = model.tokenizer();
+    let ids = prompt.to_tokens(tok);
+    let spec = GenerateSpec {
+        sampler: Sampler::paper(),
+        max_tokens: 24,
+        stop_tokens: vec![tok.vocab().token_id("\n").unwrap(), tok.special(EOS)],
+        trace_min_prob: 1e-3,
+        seed: 0,
+    };
+    let trace = generate(&model, &ids, &spec);
+    let response = trace.decode(tok);
+    println!("--- model response ---\n{response:?}");
+
+    // 4. Extract and score the prediction.
+    let (predicted, how) = extract_value(&response).expect("a value");
+    println!(
+        "\npredicted {predicted:.7} ({how:?}) vs truth {:.7}  -> relative error {:.1}%",
+        set.truth,
+        100.0 * relative_error(predicted, set.truth)
+    );
+
+    // 5. Peek at the alternative-decoding haystack (§III-C).
+    let span = value_span(&trace, tok).expect("value span");
+    let dist = value_distribution(&trace, span, tok, 20_000, 0);
+    let (lo, hi) = dist.range().unwrap();
+    println!(
+        "generable values: {} candidates in [{lo:.7}, {hi:.7}], {} permutations, top:",
+        dist.candidates.len(),
+        dist.permutations
+    );
+    for &(v, p) in dist.candidates.iter().take(5) {
+        println!("  {v:.7}  p={p:.4}");
+    }
+}

@@ -1,0 +1,12 @@
+//! Facade crate re-exporting the LM-Peel workspace.
+#![warn(missing_docs)]
+pub use lmpeel_configspace as configspace;
+pub use lmpeel_core as core;
+pub use lmpeel_gbdt as gbdt;
+pub use lmpeel_kernel as kernel;
+pub use lmpeel_lm as lm;
+pub use lmpeel_perfdata as perfdata;
+pub use lmpeel_stats as stats;
+pub use lmpeel_tensor as tensor;
+pub use lmpeel_tokenizer as tokenizer;
+pub use lmpeel_transformer as transformer;

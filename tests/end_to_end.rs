@@ -1,0 +1,139 @@
+//! End-to-end integration: the full pipeline from dataset generation
+//! through prompting, generation, extraction and scoring — exercised with
+//! both language-model substrates.
+
+use lm_peel::configspace::ArraySize;
+use lm_peel::core::decoding::{value_distribution, value_span};
+use lm_peel::core::experiment::{
+    overall_report, run_plan, setting_reports, ExperimentPlan,
+};
+use lm_peel::core::extract::extract_value;
+use lm_peel::core::prompt::PromptBuilder;
+use lm_peel::lm::{generate, GenerateSpec, InductionLm, LanguageModel, Sampler};
+use lm_peel::perfdata::{icl_replicas, CostModel, DatasetBundle, PerfDataset};
+use lm_peel::tokenizer::EOS;
+use lm_peel::transformer::InductionTransformer;
+
+fn sm_dataset() -> PerfDataset {
+    PerfDataset::generate(&CostModel::paper(), ArraySize::SM)
+}
+
+fn gen_spec(tok: &lm_peel::tokenizer::Tokenizer, seed: u64) -> GenerateSpec {
+    GenerateSpec {
+        sampler: Sampler::paper(),
+        max_tokens: 24,
+        stop_tokens: vec![tok.vocab().token_id("\n").unwrap(), tok.special(EOS)],
+        trace_min_prob: 1e-3,
+        seed,
+    }
+}
+
+#[test]
+fn induction_lm_predicts_a_plausible_sm_runtime() {
+    let ds = sm_dataset();
+    let set = icl_replicas(&ds, 10, 1, 3).remove(0);
+    let builder = PromptBuilder::new(ds.space().clone(), ds.size());
+    let model = InductionLm::paper(0);
+    let ids = builder.for_icl_set(&set).to_tokens(model.tokenizer());
+    let trace = generate(&model, &ids, &gen_spec(model.tokenizer(), 0));
+    let text = trace.decode(model.tokenizer());
+    let (v, _) = extract_value(&text).expect("extractable value");
+    // SM runtimes are sub-second and the model "appropriately reflects
+    // this" (§IV-B).
+    assert!(v > 0.0 && v < 1.0, "SM prediction {v} out of magnitude");
+}
+
+#[test]
+fn constructed_transformer_drives_the_same_pipeline() {
+    // The hand-built attention transformer implements the same trait, so
+    // the entire harness runs against it unchanged. With no numeric prior
+    // it parrots more aggressively — which is the mechanism under study.
+    let ds = sm_dataset();
+    let set = icl_replicas(&ds, 5, 1, 5).remove(0);
+    let builder = PromptBuilder::new(ds.space().clone(), ds.size());
+    let model = InductionTransformer::paper();
+    let ids = builder.for_icl_set(&set).to_tokens(model.tokenizer());
+    let trace = generate(
+        &model,
+        &ids,
+        &GenerateSpec { sampler: Sampler::greedy(), ..gen_spec(model.tokenizer(), 0) },
+    );
+    let text = trace.decode(model.tokenizer());
+    // A 1-gram induction head copies whatever followed earlier occurrences
+    // of the current token — on this prompt the most frequent follower of
+    // ": " is the scaffold word "size", not the value digit. Either way the
+    // continuation must be pure parroting: every generated token already
+    // occurs in the prompt.
+    let tok = model.tokenizer();
+    let prompt_text = builder.for_icl_set(&set).render();
+    for id in trace.generated_ids() {
+        let s = tok.vocab().token_str(id);
+        assert!(
+            prompt_text.contains(s.trim_start()),
+            "generated token {s:?} was not copied from the prompt: {text:?}"
+        );
+    }
+}
+
+#[test]
+fn value_haystack_contains_the_sampled_value() {
+    let ds = sm_dataset();
+    let set = icl_replicas(&ds, 20, 1, 9).remove(0);
+    let builder = PromptBuilder::new(ds.space().clone(), ds.size());
+    let model = InductionLm::paper(1);
+    let tok = model.tokenizer();
+    let ids = builder.for_icl_set(&set).to_tokens(tok);
+    let trace = generate(&model, &ids, &gen_spec(tok, 1));
+    let span = value_span(&trace, tok).expect("value span");
+    let dist = value_distribution(&trace, span.clone(), tok, 50_000, 0);
+    let sampled: String = trace.steps[span]
+        .iter()
+        .map(|s| tok.vocab().token_str(s.chosen))
+        .collect();
+    let sampled: f64 = sampled.parse().expect("well-formed sampled value");
+    assert!(
+        dist.candidates.iter().any(|&(v, _)| (v - sampled).abs() < 1e-12),
+        "sampled value must be generable"
+    );
+    let mass: f64 = dist.candidates.iter().map(|&(_, w)| w).sum();
+    assert!((mass - 1.0).abs() < 1e-6, "haystack normalizes");
+}
+
+#[test]
+fn smoke_plan_full_reporting_chain() {
+    let bundle = DatasetBundle::paper();
+    let records = run_plan(&bundle, &ExperimentPlan::smoke(), InductionLm::paper);
+    let settings = setting_reports(&records);
+    let overall = overall_report(&records, &settings);
+    // The chain produces internally consistent aggregates.
+    assert_eq!(records.len(), ExperimentPlan::smoke().num_tasks());
+    assert!(overall.n_extracted <= records.len());
+    assert!(overall.mare.n as usize == overall.n_extracted);
+    assert!(settings.iter().all(|s| s.report.n >= 2));
+}
+
+#[test]
+fn seeds_change_samples_but_not_the_candidate_sets() {
+    let ds = sm_dataset();
+    let set = icl_replicas(&ds, 10, 1, 21).remove(0);
+    let builder = PromptBuilder::new(ds.space().clone(), ds.size());
+    let prompt = builder.for_icl_set(&set);
+    let first_sets: Vec<Vec<u32>> = (0..3)
+        .map(|seed| {
+            let model = InductionLm::paper(seed);
+            let ids = prompt.to_tokens(model.tokenizer());
+            let trace = generate(&model, &ids, &gen_spec(model.tokenizer(), seed));
+            trace.steps[0].alternatives.iter().map(|a| a.id).collect()
+        })
+        .collect();
+    // Figure 4: identical (here: near-identical) token sets across seeds.
+    let inter: std::collections::HashSet<_> = first_sets[0]
+        .iter()
+        .filter(|id| first_sets[1].contains(id) && first_sets[2].contains(id))
+        .collect();
+    let largest = first_sets.iter().map(Vec::len).max().unwrap();
+    assert!(
+        inter.len() * 10 >= largest * 9,
+        "first-token sets should overlap >= 90% across seeds"
+    );
+}

@@ -1,0 +1,128 @@
+//! Cross-substrate consistency: the executable kernel, the analytical cost
+//! model, the boosted-tree baseline and the serialization layers must agree
+//! with each other where their domains overlap.
+
+use lm_peel::configspace::{syr2k_space, ArraySize, Syr2kConfig};
+use lm_peel::gbdt::{Gbdt, GbdtParams};
+use lm_peel::kernel::Syr2kProblem;
+use lm_peel::perfdata::{CostModel, PerfDataset};
+use lm_peel::stats::r2_score;
+use proptest::prelude::*;
+
+#[test]
+fn kernel_and_cost_model_agree_on_packing_directionality() {
+    // The cost model says packing pays off when the strided walk is long
+    // (large M). The real kernel at small sizes mostly shows packing
+    // overhead. We check the *model* ordering is internally consistent
+    // across sizes rather than comparing wall-clock to model time.
+    let model = CostModel::paper();
+    let unpacked = Syr2kConfig {
+        pack_a: false,
+        pack_b: false,
+        interchange: false,
+        tile_outer: 16,
+        tile_middle: 16,
+        tile_inner: 16,
+    };
+    let packed = Syr2kConfig { pack_a: true, pack_b: true, ..unpacked };
+    let gain = |size| model.runtime_exact(unpacked, size) / model.runtime_exact(packed, size);
+    assert!(gain(ArraySize::XL) > gain(ArraySize::SM), "packing gain grows with size");
+}
+
+#[test]
+fn every_lattice_configuration_runs_correctly_on_the_kernel() {
+    // A stratified sample of the 10,648-configuration lattice, executed for
+    // real on a small problem and checked against the reference nest.
+    let space = syr2k_space();
+    let problem = Syr2kProblem::new(13, 17);
+    let reference = problem.run_reference();
+    for idx in (0..space.cardinality()).step_by(1331) {
+        let cfg = Syr2kConfig::from_config(&space, &space.config_at(idx));
+        let out = problem.run_configured(cfg);
+        let diff = reference.max_abs_diff(&out) / reference.frobenius();
+        assert!(diff < 1e-12, "config {idx} diverged: {diff}");
+    }
+}
+
+#[test]
+fn gbdt_learns_the_generated_dataset() {
+    // The baseline must be able to fit the analytical dataset to a solid
+    // held-out R2 with moderate data — the premise of Table I.
+    let ds = PerfDataset::generate(&CostModel::paper(), ArraySize::SM);
+    let (train, test) = ds.train_test_split(0.8, 42);
+    let (xs, ys) = ds.features_for(&train[..2000]);
+    let model = Gbdt::fit(
+        &xs,
+        &ys,
+        GbdtParams {
+            n_estimators: 150,
+            tree: lm_peel::gbdt::TreeParams { max_depth: 10, ..Default::default() },
+            ..Default::default()
+        },
+        0,
+    );
+    let (tx, ty) = ds.features_for(&test);
+    let r2 = r2_score(&model.predict(&tx), &ty);
+    assert!(r2 > 0.5, "held-out R2 {r2} too weak for the Table I premise");
+}
+
+#[test]
+fn dataset_regenerates_bit_identically() {
+    let a = PerfDataset::generate(&CostModel::paper(), ArraySize::XL);
+    let b = PerfDataset::generate(&CostModel::paper(), ArraySize::XL);
+    assert_eq!(a.runtimes(), b.runtimes());
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn any_configuration_roundtrips_through_prompt_text(idx in 0u64..10_648) {
+        // Config -> natural language -> parse -> same config; and the
+        // tokenizer round-trips the rendered line byte-for-byte.
+        let space = syr2k_space();
+        let cfg = space.config_at(idx);
+        for size in ArraySize::PAPER_SIZES {
+            let line = lm_peel::configspace::text::nl_config_line(&space, &cfg, size);
+            let (s2, c2) =
+                lm_peel::configspace::text::parse_nl_config(&space, &line).expect("parse");
+            prop_assert_eq!(s2, size);
+            prop_assert_eq!(&c2, &cfg);
+            let tok = lm_peel::tokenizer::Tokenizer::paper();
+            prop_assert_eq!(tok.decode(&tok.encode(&line)), line);
+        }
+    }
+
+    #[test]
+    fn runtimes_are_positive_and_size_ordered(idx in 0u64..10_648) {
+        let space = syr2k_space();
+        let model = CostModel::paper();
+        let cfg = Syr2kConfig::from_config(&space, &space.config_at(idx));
+        let sm = model.runtime_measured(cfg, ArraySize::SM);
+        let xl = model.runtime_measured(cfg, ArraySize::XL);
+        prop_assert!(sm > 0.0 && xl > 0.0);
+        prop_assert!(xl > 100.0 * sm, "XL must dwarf SM: {} vs {}", xl, sm);
+    }
+
+    #[test]
+    fn formatted_runtimes_always_tokenize_into_the_value_shape(
+        idx in 0u64..10_648,
+        xl in proptest::bool::ANY,
+    ) {
+        let space = syr2k_space();
+        let model = CostModel::paper();
+        let size = if xl { ArraySize::XL } else { ArraySize::SM };
+        let cfg = Syr2kConfig::from_config(&space, &space.config_at(idx));
+        let text = lm_peel::configspace::text::format_runtime(
+            model.runtime_measured(cfg, size),
+        );
+        let tok = lm_peel::tokenizer::Tokenizer::paper();
+        let ids = tok.encode(&text);
+        // leading int digits (1 token), ".", then digit groups
+        let strs: Vec<&str> = ids.iter().map(|&i| tok.vocab().token_str(i)).collect();
+        prop_assert!(strs.len() >= 4, "{:?}", strs);
+        prop_assert!(strs[0].chars().all(|c| c.is_ascii_digit()));
+        prop_assert_eq!(strs[1], ".");
+        prop_assert!(strs[2].len() == 3, "first fraction group is 3 digits: {:?}", strs);
+    }
+}
