@@ -6,7 +6,10 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use lmpeel_configspace::{syr2k_space, ArraySize, Syr2kConfig};
 use lmpeel_gbdt::{Gbdt, GbdtParams};
 use lmpeel_kernel::Syr2kProblem;
-use lmpeel_lm::LanguageModel;
+use lmpeel_lm::{
+    generate_session, DecodeSession, FallbackSession, GenerateSpec, InductionLm, LanguageModel,
+    Sampler,
+};
 use lmpeel_perfdata::{CostModel, PerfDataset};
 use lmpeel_tensor::Tensor2;
 use lmpeel_transformer::{causal_attention, InductionTransformer};
@@ -79,6 +82,61 @@ fn bench_transformer(c: &mut Criterion) {
     g.finish();
 }
 
+/// Incremental sessions vs batch recomputation: decode 16 greedy tokens
+/// after prompts of {64, 256, 1024} tokens on both LM substrates. The
+/// prompt is prefilled outside the timing loop and forked per iteration,
+/// so the measured cost is the generation itself — the quantity the
+/// KV-cache path is supposed to collapse from O(T²) to O(T) per token.
+fn bench_decode_sessions(c: &mut Criterion) {
+    const GEN_TOKENS: usize = 16;
+    let spec = GenerateSpec {
+        sampler: Sampler::greedy(),
+        max_tokens: GEN_TOKENS,
+        stop_tokens: vec![],
+        trace_min_prob: 1.0,
+        seed: 0,
+    };
+    let transformer = InductionTransformer::paper();
+    let induction = InductionLm::paper(0);
+    let context_for = |model: &dyn LanguageModel, len: usize| {
+        let text = "Hyperparameter configuration: outer tile is 16, inner tile is 32\n\
+                    Performance: 0.0023117\n"
+            .repeat(len / 16 + 1);
+        let mut ids = model.tokenizer().encode(&text);
+        ids.truncate(len);
+        ids
+    };
+
+    for (mode, incremental) in [("decode_incremental", true), ("decode_batch", false)] {
+        let mut g = c.benchmark_group(mode);
+        g.sample_size(10);
+        for len in [64usize, 256, 1024] {
+            let ids = context_for(&transformer, len);
+            let mut base: Box<dyn DecodeSession + '_> = if incremental {
+                transformer.session()
+            } else {
+                Box::new(FallbackSession::new(&transformer))
+            };
+            base.extend(&ids);
+            g.bench_with_input(BenchmarkId::new("transformer", len), &(), |b, ()| {
+                b.iter(|| black_box(generate_session(&mut *base.fork(), &spec)))
+            });
+
+            let ids = context_for(&induction, len);
+            let mut base: Box<dyn DecodeSession + '_> = if incremental {
+                induction.session()
+            } else {
+                Box::new(FallbackSession::new(&induction))
+            };
+            base.extend(&ids);
+            g.bench_with_input(BenchmarkId::new("induction_lm", len), &(), |b, ()| {
+                b.iter(|| black_box(generate_session(&mut *base.fork(), &spec)))
+            });
+        }
+        g.finish();
+    }
+}
+
 fn bench_attention(c: &mut Criterion) {
     let t = 512;
     let d = 96;
@@ -96,6 +154,7 @@ criterion_group!(
     bench_gbdt,
     bench_kernel,
     bench_transformer,
-    bench_attention
+    bench_attention,
+    bench_decode_sessions
 );
 criterion_main!(benches);

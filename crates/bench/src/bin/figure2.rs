@@ -22,8 +22,7 @@ fn ascii_scatter(pred: &[f64], truth: &[f64], bins: usize) -> String {
     let mut out = String::new();
     for row in (0..bins).rev() {
         out.push_str("  ");
-        for col in 0..bins {
-            let c = grid[row][col];
+        for &c in grid[row].iter().take(bins) {
             out.push(match c {
                 0 => ' ',
                 1..=2 => '.',

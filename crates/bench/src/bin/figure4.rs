@@ -15,6 +15,9 @@ use lmpeel_stats::{Histogram, HistogramSpec};
 use lmpeel_tokenizer::EOS;
 use std::io::Write;
 
+/// One seed's series: (seed, value histogram, first-position token probs).
+type SeedSeries = (u64, Histogram, Vec<(u32, f32)>);
+
 fn main() {
     let bundle = DatasetBundle::paper();
     let dataset = &bundle.xl;
@@ -38,7 +41,7 @@ fn main() {
     let hi = dataset.summary().max * 1.2;
     let spec_hist = HistogramSpec::Linear { lo, hi, bins: 18 };
 
-    let mut per_seed: Vec<(u64, Histogram, Vec<(u32, f32)>)> = Vec::new();
+    let mut per_seed: Vec<SeedSeries> = Vec::new();
     for seed in 0..3u64 {
         let model = InductionLm::paper(seed);
         let ids = prompt.to_tokens(model.tokenizer());

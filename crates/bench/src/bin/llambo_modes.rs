@@ -86,7 +86,7 @@ fn main() {
          rescue the surrogate, consistent with the paper's thesis that the failure\n\
          is in relating configurations to performance, not in emitting digits.\n\
          Proposed candidates parse essentially always (format parroting is the\n\
-         model's strength) and edge out a random configuration only slightly —\n\
+         model's strength) yet land no better than a random configuration —\n\
          recombination of seen configurations, not design."
     );
 }

@@ -5,10 +5,8 @@
 //! index* internally (which makes the mixed-radix bijection in
 //! [`crate::space`] trivial) and exposed as typed [`ParamValue`]s.
 
-use serde::{Deserialize, Serialize};
-
 /// Definition of a single tunable parameter.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum ParamDef {
     /// A boolean flag (choice indices: 0 = false, 1 = true).
     Bool {
@@ -121,7 +119,7 @@ impl ParamDef {
 }
 
 /// A typed parameter value.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum ParamValue {
     /// Boolean flag value.
     Bool(bool),
@@ -146,7 +144,7 @@ impl std::fmt::Display for ParamValue {
 /// One point in a configuration space, stored as per-parameter choice
 /// indices. Only meaningful together with the [`crate::space::ConfigSpace`]
 /// that created it.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct Config {
     choices: Vec<u16>,
 }

@@ -10,10 +10,8 @@
 //! interpolated SM and ML levels come from the transfer-learning dataset the
 //! paper reuses (Randall et al., ICS'23).
 
-use serde::{Deserialize, Serialize};
-
 /// Problem-size level for the syr2k loop nest.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum ArraySize {
     /// Small (Polybench SMALL): M=60, N=80.
     S,

@@ -4,7 +4,6 @@
 use crate::param::{Config, ParamDef, ParamValue};
 use rand::seq::SliceRandom;
 use rand::RngExt;
-use serde::{Deserialize, Serialize};
 
 /// A configuration space: an ordered list of parameters whose cross product
 /// forms the search space.
@@ -12,7 +11,7 @@ use serde::{Deserialize, Serialize};
 /// Configurations are indexable: `index ∈ [0, cardinality)` maps bijectively
 /// to a [`Config`] via mixed-radix decomposition with the *last* parameter
 /// varying fastest (row-major, matching nested-loop enumeration order).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ConfigSpace {
     params: Vec<ParamDef>,
 }

@@ -15,7 +15,6 @@
 
 use crate::param::{Config, ParamDef, ParamValue};
 use crate::space::ConfigSpace;
-use serde::{Deserialize, Serialize};
 
 /// The eleven candidate tile sizes (Polly/ytopt-style powers of two plus
 /// cache-line-friendly in-between values; includes every tile value visible
@@ -45,7 +44,7 @@ pub fn syr2k_space() -> ConfigSpace {
 }
 
 /// Typed view of a syr2k configuration.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Syr2kConfig {
     /// Pack array `A` before the nest.
     pub pack_a: bool,

@@ -13,7 +13,9 @@ use crate::decoding::{is_exact_icl_copy, value_span};
 use crate::extract::{extract_value, Extraction};
 use crate::prompt::PromptBuilder;
 use lmpeel_configspace::ArraySize;
-use lmpeel_lm::{generate, GenerateSpec, GenerationTrace, LanguageModel, Sampler};
+use lmpeel_lm::{
+    generate, generate_session, GenerateSpec, GenerationTrace, LanguageModel, Sampler,
+};
 use lmpeel_perfdata::{curated_icl_replicas, icl_replicas, DatasetBundle, IclSet};
 use lmpeel_stats::{RegressionReport, Summary, Welford};
 use lmpeel_tokenizer::EOS;
@@ -144,6 +146,16 @@ pub struct PredictionRecord {
 /// Run every task in a plan against models produced by `model_factory`
 /// (one model per sampling seed, matching the paper's per-seed reruns).
 /// Tasks run rayon-parallel; output order is deterministic.
+///
+/// Within a task the prompt is tokenized and prefilled into one
+/// [`DecodeSession`](lmpeel_lm::DecodeSession) which is then forked per
+/// seed, so the shared prompt prefix is paid for once instead of once per
+/// seed. A fork is re-keyed to the seed
+/// ([`DecodeSession::rekey`](lmpeel_lm::DecodeSession::rekey)); substrates
+/// whose seed is baked into weights refuse, and those seeds fall back to a
+/// fresh `model_factory(seed)` generation. `model_factory` must produce
+/// models sharing one vocabulary across seeds — only logit behaviour may
+/// vary with the seed.
 pub fn run_plan<M, F>(
     bundle: &DatasetBundle,
     plan: &ExperimentPlan,
@@ -153,6 +165,9 @@ where
     M: LanguageModel + Sync,
     F: Fn(u64) -> M + Sync,
 {
+    if plan.seeds.is_empty() {
+        return Vec::new();
+    }
     // Materialize all (key, replica, icl_set) tuples first.
     let mut tasks: Vec<(SettingKey, usize, IclSet)> = Vec::new();
     for &size in &plan.sizes {
@@ -179,12 +194,15 @@ where
         .flat_map(|(key, replica, set)| {
             let builder = PromptBuilder::new(bundle.for_size(key.size).space().clone(), key.size);
             let prompt = builder.for_icl_set(set);
+            // Prefill the shared prompt once, fork per seed.
+            let base_model = model_factory(plan.seeds[0]);
+            let tokenizer = base_model.tokenizer();
+            let ids = prompt.to_tokens(tokenizer);
+            let mut base_session = base_model.session();
+            base_session.extend(&ids);
             plan.seeds
-                .par_iter()
+                .iter()
                 .map(|&seed| {
-                    let model = model_factory(seed);
-                    let tokenizer = model.tokenizer();
-                    let ids = prompt.to_tokens(tokenizer);
                     let spec = GenerateSpec {
                         sampler: Sampler::paper(),
                         max_tokens: plan.max_tokens,
@@ -196,7 +214,16 @@ where
                         trace_min_prob: plan.trace_min_prob,
                         seed,
                     };
-                    let trace = generate(&model, &ids, &spec);
+                    let mut fork = base_session.fork();
+                    let trace = if fork.rekey(seed) {
+                        generate_session(&mut *fork, &spec)
+                    } else {
+                        // Seed is baked into this substrate's weights:
+                        // rebuild the model and pay the full prefill.
+                        drop(fork);
+                        let model = model_factory(seed);
+                        generate(&model, &ids, &spec)
+                    };
                     let response = trace.decode(tokenizer);
                     let extracted = extract_value(&response);
                     let icl_values: Vec<f64> =
@@ -459,6 +486,41 @@ mod tests {
             }
         }
         assert!(varied, "different seeds should sometimes sample differently");
+    }
+
+    #[test]
+    fn forked_seed_generations_match_fresh_per_seed_models() {
+        // The prefix-sharing path (prefill once, fork + rekey per seed)
+        // must reproduce what a per-seed model built from scratch decodes.
+        let plan = ExperimentPlan::smoke();
+        let records = smoke_records();
+        let ds = bundle().for_size(ArraySize::SM);
+        let sets = icl_replicas(ds, 2, plan.replicas, plan.selection_seed);
+        let key = SettingKey { size: ArraySize::SM, icl_count: 2, curated: false };
+        for (replica, set) in sets.iter().enumerate() {
+            for &seed in &plan.seeds {
+                let rec = records
+                    .iter()
+                    .find(|r| r.key == key && r.replica == replica && r.seed == seed)
+                    .expect("record exists");
+                let model = InductionLm::paper(seed);
+                let builder = PromptBuilder::new(ds.space().clone(), ArraySize::SM);
+                let ids = builder.for_icl_set(set).to_tokens(model.tokenizer());
+                let spec = GenerateSpec {
+                    sampler: Sampler::paper(),
+                    max_tokens: plan.max_tokens,
+                    stop_tokens: vec![model.tokenizer().special(EOS)],
+                    trace_min_prob: plan.trace_min_prob,
+                    seed,
+                };
+                let trace = generate(&model, &ids, &spec);
+                assert_eq!(
+                    trace.decode(model.tokenizer()),
+                    rec.response,
+                    "replica {replica} seed {seed}"
+                );
+            }
+        }
     }
 
     #[test]

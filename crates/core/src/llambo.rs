@@ -16,7 +16,7 @@
 
 use crate::prompt::{problem_description, SYSTEM_INSTRUCTIONS};
 use lmpeel_configspace::{text, ArraySize, Config, ConfigSpace};
-use lmpeel_lm::{generate, GenerateSpec, LanguageModel, Sampler};
+use lmpeel_lm::{generate_session, GenerateSpec, LanguageModel, Sampler};
 use lmpeel_perfdata::PerfDataset;
 use lmpeel_stats::{seeded_rng, SeedDomain};
 use lmpeel_tokenizer::{BOS, EOS, ROLE_ASSISTANT, ROLE_SYSTEM, ROLE_USER};
@@ -123,20 +123,47 @@ pub fn predict_class<M: LanguageModel>(
     query: &Config,
     seed: u64,
 ) -> Option<usize> {
+    predict_classes(model, space, size, buckets, examples, query, &[seed])
+        .pop()
+        .flatten()
+}
+
+/// Run the generative surrogate over several sampling seeds while paying
+/// the prompt prefill once: the chat prompt is tokenized into one
+/// [`DecodeSession`](lmpeel_lm::DecodeSession) and forked per seed. The
+/// seed here only drives sampling (the model's own jitter key is fixed at
+/// construction), so forks need no re-keying. Returns one prediction per
+/// seed, in order.
+pub fn predict_classes<M: LanguageModel>(
+    model: &M,
+    space: &ConfigSpace,
+    size: ArraySize,
+    buckets: &RuntimeBuckets,
+    examples: &[(Config, f64)],
+    query: &Config,
+    seeds: &[u64],
+) -> Vec<Option<usize>> {
     let user = classification_user_text(space, size, buckets, examples, query);
     let ids = chat_tokens(model, &user, "Performance bucket: ");
     let t = model.tokenizer();
-    let spec = GenerateSpec {
-        sampler: Sampler::paper(),
-        max_tokens: 4,
-        stop_tokens: vec![t.vocab().token_id("\n").expect("newline"), t.special(EOS)],
-        trace_min_prob: 1e-4,
-        seed,
-    };
-    let trace = generate(model, &ids, &spec);
-    let response = trace.decode(t);
-    let label = response.trim().chars().next()?.to_string();
-    buckets.class_of_label(&label)
+    let mut base = model.session();
+    base.extend(&ids);
+    seeds
+        .iter()
+        .map(|&seed| {
+            let spec = GenerateSpec {
+                sampler: Sampler::paper(),
+                max_tokens: 4,
+                stop_tokens: vec![t.vocab().token_id("\n").expect("newline"), t.special(EOS)],
+                trace_min_prob: 1e-4,
+                seed,
+            };
+            let trace = generate_session(&mut *base.fork(), &spec);
+            let response = trace.decode(t);
+            let label = response.trim().chars().next()?.to_string();
+            buckets.class_of_label(&label)
+        })
+        .collect()
 }
 
 /// Build the candidate-sampling user text: labelled `(performance →
@@ -174,22 +201,45 @@ pub fn propose_candidate<M: LanguageModel>(
     target: f64,
     seed: u64,
 ) -> Option<Config> {
+    propose_candidates(model, space, size, examples, target, &[seed])
+        .pop()
+        .flatten()
+}
+
+/// Run candidate sampling over several sampling seeds while paying the
+/// prompt prefill once (see [`predict_classes`] for the forking scheme).
+/// Returns one proposal per seed, in order.
+pub fn propose_candidates<M: LanguageModel>(
+    model: &M,
+    space: &ConfigSpace,
+    size: ArraySize,
+    examples: &[(Config, f64)],
+    target: f64,
+    seeds: &[u64],
+) -> Vec<Option<Config>> {
     let user = candidate_user_text(space, size, examples, target);
     // Trailing space matters: the examples tokenize the separator as
     // a single ": " token, and the induction machinery needs the primer
     // to end on that same token.
     let ids = chat_tokens(model, &user, "Hyperparameter configuration: ");
     let t = model.tokenizer();
-    let spec = GenerateSpec {
-        sampler: Sampler::paper(),
-        max_tokens: 96,
-        stop_tokens: vec![t.vocab().token_id("\n").expect("newline"), t.special(EOS)],
-        trace_min_prob: 1e-4,
-        seed,
-    };
-    let trace = generate(model, &ids, &spec);
-    let line = format!("Hyperparameter configuration: {}", trace.decode(t));
-    text::parse_nl_config(space, &line).map(|(_, cfg)| cfg)
+    let mut base = model.session();
+    base.extend(&ids);
+    seeds
+        .iter()
+        .map(|&seed| {
+            let spec = GenerateSpec {
+                sampler: Sampler::paper(),
+                max_tokens: 96,
+                stop_tokens: vec![t.vocab().token_id("\n").expect("newline"), t.special(EOS)],
+                trace_min_prob: 1e-4,
+                seed,
+            };
+            let trace = generate_session(&mut *base.fork(), &spec);
+            let line = format!("Hyperparameter configuration: {}", trace.decode(t));
+            text::parse_nl_config(space, &line).map(|(_, cfg)| cfg)
+        })
+        .collect()
 }
 
 /// Evaluation summary for the generative (classification) surrogate.
@@ -347,6 +397,40 @@ mod tests {
             .collect();
         assert!(!parsed.is_empty(), "no proposal parsed across 8 seeds");
         assert!(parsed.iter().all(|c| c.len() == space.num_params()));
+    }
+
+    #[test]
+    fn multi_seed_helpers_match_their_single_seed_counterparts() {
+        // Forking one prefilled session per seed must decode exactly what a
+        // fresh per-seed session over the same prompt decodes.
+        let d = sm();
+        let model = InductionLm::paper(0);
+        let space = d.space();
+        let examples: Vec<(Config, f64)> = (0..5)
+            .map(|i| {
+                let c = space.config_at(i * 2000 + 5);
+                (c.clone(), d.runtime_of(&c))
+            })
+            .collect();
+        let target = examples[2].1;
+        let seeds = [0u64, 1, 2, 3];
+        let batch =
+            propose_candidates(&model, space, d.size(), &examples, target, &seeds);
+        assert_eq!(batch.len(), seeds.len());
+        for (&seed, proposal) in seeds.iter().zip(&batch) {
+            let single =
+                propose_candidate(&model, space, d.size(), &examples, target, seed);
+            assert_eq!(&single, proposal, "seed {seed}");
+        }
+        let b = RuntimeBuckets::from_dataset(&d, 3);
+        let query = space.config_at(7_777);
+        let classes =
+            predict_classes(&model, space, d.size(), &b, &examples, &query, &seeds);
+        for (&seed, class) in seeds.iter().zip(&classes) {
+            let single =
+                predict_class(&model, space, d.size(), &b, &examples, &query, seed);
+            assert_eq!(&single, class, "seed {seed}");
+        }
     }
 
     #[test]

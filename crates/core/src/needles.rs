@@ -31,6 +31,10 @@ pub struct LlmNeedles {
     pub n: usize,
 }
 
+/// Per-record needle flags: (sampled hit, oracle hit, probability mass)
+/// per threshold.
+type NeedleFlags = ([bool; 3], [bool; 3], [f64; 3]);
+
 /// Compute the LLM needle views over experiment records. Records without a
 /// value span (pure drift) count as misses in all three views.
 ///
@@ -43,7 +47,7 @@ pub fn llm_needles(
     decode_seed: u64,
 ) -> LlmNeedles {
     assert!(!records.is_empty(), "needle analysis requires records");
-    let per_record: Vec<([bool; 3], [bool; 3], [f64; 3])> = records
+    let per_record: Vec<NeedleFlags> = records
         .par_iter()
         .map(|r| {
             let dist: Option<ValueDistribution> = r.value_span.clone().map(|span| {
@@ -66,7 +70,7 @@ pub fn llm_needles(
         .collect();
 
     let n = per_record.len();
-    let frac = |sel: &dyn Fn(&([bool; 3], [bool; 3], [f64; 3])) -> f64| -> f64 {
+    let frac = |sel: &dyn Fn(&NeedleFlags) -> f64| -> f64 {
         per_record.iter().map(sel).sum::<f64>() / n as f64
     };
     let report = |which: usize, kind: usize| -> f64 {

@@ -93,7 +93,8 @@ impl LogitConstraint for ValueGrammar {
 
 /// The decoding loop with a [`LogitConstraint`] applied at every step.
 /// Identical trace semantics to [`crate::generate::generate`], over the
-/// constrained distribution.
+/// constrained distribution. Drives an incremental [`DecodeSession`], so
+/// the constraint's mask is the only per-step full-vocabulary pass.
 pub fn generate_constrained<M: LanguageModel, C: LogitConstraint>(
     model: &M,
     prompt: &[TokenId],
@@ -101,14 +102,15 @@ pub fn generate_constrained<M: LanguageModel, C: LogitConstraint>(
     constraint: &C,
 ) -> GenerationTrace {
     let mut rng = seeded_rng(spec.seed, SeedDomain::Sampling(prompt.len() as u64));
-    let mut context: Vec<TokenId> = prompt.to_vec();
+    let mut session = model.session();
+    session.extend(prompt);
     let mut steps = Vec::new();
     let mut stopped_naturally = false;
     let tokenizer = model.tokenizer();
 
     for _ in 0..spec.max_tokens {
-        let mut logits = model.logits(&context);
-        constraint.mask(&context, tokenizer, &mut logits);
+        let mut logits = session.logits();
+        constraint.mask(session.tokens(), tokenizer, &mut logits);
         let trace_sampler = Sampler { temperature: 1.0, top_k: 0, top_p: 1.0 };
         let dist = trace_sampler.distribution(&logits);
         let (chosen, chosen_prob) = spec.sampler.sample(&logits, &mut rng);
@@ -122,7 +124,7 @@ pub fn generate_constrained<M: LanguageModel, C: LogitConstraint>(
             .map(|(id, prob)| TokenAlt { id, prob })
             .collect();
         steps.push(GenStep { chosen, chosen_prob, alternatives });
-        context.push(chosen);
+        session.append(chosen);
     }
     GenerationTrace { prompt_len: prompt.len(), steps, stopped_naturally }
 }

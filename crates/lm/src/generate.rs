@@ -1,7 +1,15 @@
 //! The decoding loop.
+//!
+//! All loops here drive a [`DecodeSession`] rather than re-calling the
+//! batch [`LanguageModel::logits`] per step: after the prompt prefill, each
+//! generated token costs one incremental [`DecodeSession::logits`] call, so
+//! substrates with native sessions decode in O(context) per step instead of
+//! recomputing the whole context. Models without a native session fall back
+//! to [`crate::session::FallbackSession`] and behave exactly as before.
 
 use crate::model::LanguageModel;
 use crate::sampler::Sampler;
+use crate::session::DecodeSession;
 use crate::trace::{GenStep, GenerationTrace, TokenAlt};
 use lmpeel_stats::{seeded_rng, SeedDomain};
 use lmpeel_tokenizer::TokenId;
@@ -43,18 +51,29 @@ pub fn generate<M: LanguageModel>(
     prompt: &[TokenId],
     spec: &GenerateSpec,
 ) -> GenerationTrace {
-    let mut rng = seeded_rng(spec.seed, SeedDomain::Sampling(prompt.len() as u64));
-    let mut context: Vec<TokenId> = prompt.to_vec();
+    let mut session = model.session();
+    session.extend(prompt);
+    generate_session(&mut *session, spec)
+}
+
+/// The decoding loop over an already-prefilled [`DecodeSession`]: the
+/// session's current contents are the prompt, and up to `max_tokens`
+/// further tokens are sampled and appended. This is the entry point for
+/// prompt-prefix sharing — prefill one session, then [`DecodeSession::fork`]
+/// it per sampling seed and hand each fork here.
+///
+/// Trace semantics are identical to [`generate`]: the sampling RNG is keyed
+/// by `(spec.seed, prompt length)`, every step records the raw softmax above
+/// `trace_min_prob`, and a sampled stop token ends generation without being
+/// recorded.
+pub fn generate_session(session: &mut dyn DecodeSession, spec: &GenerateSpec) -> GenerationTrace {
+    let prompt_len = session.len();
+    let mut rng = seeded_rng(spec.seed, SeedDomain::Sampling(prompt_len as u64));
     let mut steps = Vec::new();
     let mut stopped_naturally = false;
 
     for _ in 0..spec.max_tokens {
-        let logits = model.logits(&context);
-        debug_assert_eq!(
-            logits.len(),
-            model.tokenizer().vocab().len(),
-            "model returned wrong logit arity"
-        );
+        let logits = session.logits();
         // The trace records the *raw* softmax (temperature 1, no top-k/p)
         // above the `trace_min_prob` floor — the paper logs "all generated
         // nonzero logit values" before any sampling processors, and its
@@ -74,10 +93,10 @@ pub fn generate<M: LanguageModel>(
             .map(|(id, prob)| TokenAlt { id, prob })
             .collect();
         steps.push(GenStep { chosen, chosen_prob, alternatives });
-        context.push(chosen);
+        session.append(chosen);
     }
 
-    GenerationTrace { prompt_len: prompt.len(), steps, stopped_naturally }
+    GenerationTrace { prompt_len, steps, stopped_naturally }
 }
 
 /// §V-D future-work decoding: "an LLM can be given a unique token to signal
@@ -105,7 +124,8 @@ where
 {
     use crate::induction::prior::{value_state, ValueState};
     let mut rng = seeded_rng(spec.seed, SeedDomain::Sampling(prompt.len() as u64));
-    let mut context: Vec<TokenId> = prompt.to_vec();
+    let mut session = model.session();
+    session.extend(prompt);
     let mut steps = Vec::new();
     let mut stopped_naturally = false;
     let tokenizer = model.tokenizer();
@@ -113,8 +133,8 @@ where
     while steps.len() < spec.max_tokens {
         // Numeric hook: at a value onset, let the supporting model fill in
         // the number.
-        if value_state(&context, tokenizer) == Some(ValueState::Start) {
-            if let Some(text) = number_provider(&context) {
+        if value_state(session.tokens(), tokenizer) == Some(ValueState::Start) {
+            if let Some(text) = number_provider(session.tokens()) {
                 for id in tokenizer.encode(&text) {
                     if steps.len() >= spec.max_tokens {
                         break;
@@ -124,13 +144,13 @@ where
                         chosen_prob: 1.0,
                         alternatives: vec![TokenAlt { id, prob: 1.0 }],
                     });
-                    context.push(id);
+                    session.append(id);
                 }
                 // The number is complete; only scaffold remains.
                 continue;
             }
         }
-        let logits = model.logits(&context);
+        let logits = session.logits();
         let trace_sampler = Sampler { temperature: 1.0, top_k: 0, top_p: 1.0 };
         let dist = trace_sampler.distribution(&logits);
         let (chosen, chosen_prob) = spec.sampler.sample(&logits, &mut rng);
@@ -144,7 +164,7 @@ where
             .map(|(id, prob)| TokenAlt { id, prob })
             .collect();
         steps.push(GenStep { chosen, chosen_prob, alternatives });
-        context.push(chosen);
+        session.append(chosen);
     }
     GenerationTrace { prompt_len: prompt.len(), steps, stopped_naturally }
 }
@@ -299,6 +319,100 @@ mod tests {
         let plain = generate(&m, &prompt, &spec);
         let hooked = generate_with_number_hook(&m, &prompt, &spec, |_| None);
         assert_eq!(plain, hooked, "declining provider must be a no-op");
+    }
+
+    #[test]
+    fn native_sessions_never_touch_the_batch_logits_path() {
+        use crate::session::DecodeSession;
+        use std::cell::Cell;
+
+        // A model that counts batch `logits` calls and owns a native
+        // session computing the same distribution without them. With such a
+        // session, `generate` must perform zero full-context logit
+        // recomputations — prefill included.
+        struct CountingLm {
+            tokenizer: Tokenizer,
+            cycle: Vec<lmpeel_tokenizer::TokenId>,
+            batch_calls: Cell<usize>,
+        }
+
+        impl CountingLm {
+            fn next_logits(&self, last: Option<&lmpeel_tokenizer::TokenId>) -> Vec<f32> {
+                let mut logits = vec![f32::NEG_INFINITY; self.tokenizer.vocab().len()];
+                let next = match last {
+                    Some(last) => {
+                        let pos = self.cycle.iter().position(|t| t == last).unwrap_or(0);
+                        self.cycle[(pos + 1) % self.cycle.len()]
+                    }
+                    None => self.cycle[0],
+                };
+                logits[next as usize] = 1.0;
+                logits
+            }
+        }
+
+        struct CountingSession<'m> {
+            model: &'m CountingLm,
+            tokens: Vec<lmpeel_tokenizer::TokenId>,
+        }
+
+        impl DecodeSession for CountingSession<'_> {
+            fn tokens(&self) -> &[lmpeel_tokenizer::TokenId] {
+                &self.tokens
+            }
+            fn append(&mut self, token: lmpeel_tokenizer::TokenId) {
+                self.tokens.push(token);
+            }
+            fn logits(&self) -> Vec<f32> {
+                self.model.next_logits(self.tokens.last())
+            }
+            fn fork(&self) -> Box<dyn DecodeSession + '_> {
+                Box::new(CountingSession { model: self.model, tokens: self.tokens.clone() })
+            }
+        }
+
+        impl LanguageModel for CountingLm {
+            fn tokenizer(&self) -> &Tokenizer {
+                &self.tokenizer
+            }
+            fn logits(&self, context: &[lmpeel_tokenizer::TokenId]) -> Vec<f32> {
+                self.batch_calls.set(self.batch_calls.get() + 1);
+                self.next_logits(context.last())
+            }
+            fn name(&self) -> String {
+                "counting-test-lm".into()
+            }
+            fn session(&self) -> Box<dyn DecodeSession + '_> {
+                Box::new(CountingSession { model: self, tokens: Vec::new() })
+            }
+        }
+
+        let t = Tokenizer::paper();
+        let cycle = vec![t.encode("a")[0], t.encode("b")[0], t.encode("c")[0]];
+        let prompt = t.encode("abcab");
+        let m = CountingLm { tokenizer: t, cycle, batch_calls: Cell::new(0) };
+        let spec = GenerateSpec {
+            sampler: Sampler::greedy(),
+            max_tokens: 8,
+            stop_tokens: vec![],
+            trace_min_prob: 0.0,
+            seed: 0,
+        };
+        let trace = generate(&m, &prompt, &spec);
+        assert_eq!(trace.decode(&m.tokenizer), "cabcabca");
+        assert_eq!(
+            m.batch_calls.get(),
+            0,
+            "a native session must fully bypass batch logits"
+        );
+
+        // Control: the same distribution through the default fallback
+        // session pays one batch call per generated token.
+        let mut s = crate::session::FallbackSession::new(&m);
+        s.extend(&prompt);
+        let via_fallback = generate_session(&mut s, &spec);
+        assert_eq!(via_fallback.decode(&m.tokenizer), "cabcabca");
+        assert_eq!(m.batch_calls.get(), spec.max_tokens, "one batch call per step");
     }
 
     #[test]

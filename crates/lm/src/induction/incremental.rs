@@ -1,0 +1,436 @@
+//! Incremental decoding for [`InductionLm`].
+//!
+//! The batch [`crate::model::LanguageModel::logits`] path re-derives three
+//! things from scratch on every call: the block segmentation
+//! ([`super::blocks::ContextMap::segment`], O(T)), the per-block config
+//! similarities (O(blocks x config)), and — dominating everything — the
+//! suffix-match scan of [`InductionLm`]'s induction votes, which compares
+//! the trailing tokens against every earlier position (O(T x max_match)).
+//! Over a generation of G tokens that is O(G·T·max_match).
+//!
+//! [`InductionLmSession`] maintains all three incrementally:
+//!
+//! * **segmentation** — block starts, frozen `Performance` positions and
+//!   per-block config token sets grow in O(1) per appended token;
+//! * **similarities** — integer intersection counts `|config ∩ query|`
+//!   updated per append, so each Jaccard is the *same* integer division the
+//!   batch path performs (bit-identical similarities);
+//! * **suffix matches** — the match length of position `t` against the
+//!   current context tail obeys `m'(t) = tokens[t-1] == x ? min(1 + m(t-1),
+//!   max_match) : 0` when `x` is appended, so the sparse set of nonzero
+//!   match lengths is rebuilt from an occurrence index in O(#occurrences of
+//!   x) per append. The map is keyed by position in a [`BTreeMap`] so vote
+//!   accumulation runs in the batch path's ascending-position order.
+//!
+//! `logits()` then assembles votes from the sparse match set and hands them
+//! to the same `finish_logits` tail the batch path uses: priors, smearing,
+//! drift, background and jitter are shared code, not a reimplementation.
+//!
+//! The session's logit jitter is keyed by a session-owned seed initialised
+//! from the model's. [`DecodeSession::rekey`] swaps that seed, which is
+//! exactly the only seed-dependent state `InductionLm` has (format drift and
+//! prompt confusion are prompt-keyed by design — all sampling seeds must
+//! agree on whether a prompt derails, as they did in the paper's
+//! inspection). That makes cross-seed prompt-prefix sharing sound: prefill
+//! once, fork per seed, rekey each fork.
+
+use super::InductionLm;
+use crate::session::DecodeSession;
+use lmpeel_tokenizer::TokenId;
+use std::collections::{BTreeMap, HashMap, HashSet};
+
+/// Incremental state of one `Hyperparameter ...` block.
+#[derive(Debug, Clone)]
+struct BlockState {
+    /// Position of the anchor token.
+    start: usize,
+    /// Position of the block's `Performance` token; once set, the config
+    /// token set is frozen.
+    perf_pos: Option<usize>,
+    /// Distinct tokens of the configuration region (anchor inclusive,
+    /// `Performance` exclusive) — the batch path's config-span set.
+    config: HashSet<TokenId>,
+    /// `|config ∩ query config|`, maintained as an integer so the session's
+    /// Jaccard is the very division the batch segmentation computes.
+    inter_q: usize,
+}
+
+/// Incremental [`DecodeSession`] over an [`InductionLm`].
+///
+/// Logits agree with the model's batch path on every prefix (the
+/// equivalence proptests in this module pin the two together); appends cost
+/// O(occurrences of the appended token) instead of the batch path's
+/// O(context x max_match) per decode step.
+#[derive(Debug, Clone)]
+pub struct InductionLmSession<'m> {
+    model: &'m InductionLm,
+    tokens: Vec<TokenId>,
+    /// Jitter seed; starts as the model's, swappable via `rekey`.
+    seed: u64,
+    blocks: Vec<BlockState>,
+    /// token -> ascending positions at which it occurs.
+    occ: HashMap<TokenId, Vec<usize>>,
+    /// position `t` -> current suffix-match length `m(t) >= 1`: the number
+    /// of trailing context tokens that match the tokens before `t`, capped
+    /// at `max_match`. Positions absent from the map have `m(t) = 0`.
+    match_len: BTreeMap<usize, usize>,
+}
+
+impl<'m> InductionLmSession<'m> {
+    /// Empty session over `model`, jitter-keyed by the model's seed.
+    pub fn new(model: &'m InductionLm) -> Self {
+        Self {
+            model,
+            tokens: Vec::new(),
+            seed: model.seed(),
+            blocks: Vec::new(),
+            occ: HashMap::new(),
+            match_len: BTreeMap::new(),
+        }
+    }
+
+    /// Index of the block containing position `pos` (positions before the
+    /// first anchor belong to none). Blocks tile the context from the first
+    /// anchor onward, so containment needs no end bound.
+    fn block_of(&self, pos: usize) -> Option<usize> {
+        self.blocks.partition_point(|b| b.start <= pos).checked_sub(1)
+    }
+
+    /// Jaccard similarity of each block's config set against the query
+    /// block's, from the maintained intersection counts.
+    fn sims(&self) -> Vec<f64> {
+        let q_len = match self.blocks.last() {
+            Some(q) => q.config.len(),
+            None => return vec![],
+        };
+        self.blocks
+            .iter()
+            .map(|b| b.inter_q as f64 / (q_len + b.config.len() - b.inter_q) as f64)
+            .collect()
+    }
+
+    /// The induction votes for the current context, mirroring the batch
+    /// `InductionLm::induction_votes` term for term — same weights, same
+    /// short-match fallback, same ascending-position accumulation order —
+    /// but walking only the sparse nonzero-match set.
+    fn assemble_votes(&self) -> (HashMap<TokenId, f64>, f64) {
+        let cfg = self.model.config();
+        let t_end = self.tokens.len();
+        let mut votes: HashMap<TokenId, f64> = HashMap::new();
+        let mut strength = 0.0f64;
+        if t_end < cfg.min_match + 1 {
+            return (votes, strength);
+        }
+        let sims = self.sims();
+        let query_block = self.blocks.len().checked_sub(1);
+        let best_sim = sims
+            .iter()
+            .take(sims.len().saturating_sub(1))
+            .cloned()
+            .fold(f64::NEG_INFINITY, f64::max);
+        let block_weight = |pos: usize| -> f64 {
+            match self.block_of(pos) {
+                Some(b) if Some(b) == query_block => cfg.self_block_discount,
+                Some(b) if best_sim.is_finite() => {
+                    (cfg.sim_sharpness * (sims[b] - best_sim)).exp()
+                }
+                Some(_) => 1.0,
+                None => cfg.non_block_weight,
+            }
+        };
+        let mut short_votes: HashMap<TokenId, f64> = HashMap::new();
+        let mut short_strength = 0.0f64;
+        for (&t, &k) in &self.match_len {
+            if k >= cfg.min_match {
+                let base = cfg.lambda.powi(k as i32);
+                *votes.entry(self.tokens[t]).or_insert(0.0) += base * block_weight(t);
+                strength += base;
+            } else {
+                let base = cfg.lambda;
+                *short_votes.entry(self.tokens[t]).or_insert(0.0) += base * block_weight(t);
+                short_strength += base;
+            }
+        }
+        if votes.is_empty() {
+            return (short_votes, short_strength);
+        }
+        (votes, strength)
+    }
+}
+
+impl DecodeSession for InductionLmSession<'_> {
+    fn tokens(&self) -> &[TokenId] {
+        &self.tokens
+    }
+
+    fn append(&mut self, token: TokenId) {
+        let p = self.tokens.len();
+
+        // Suffix matches: appending `x` zeroes every position not preceded
+        // by `x` and extends every position that is, per the recurrence in
+        // the module docs. `occ` does not yet contain `p`, so only genuine
+        // earlier positions contribute.
+        let mut next = BTreeMap::new();
+        if let Some(positions) = self.occ.get(&token) {
+            let max_match = self.model.config().max_match;
+            for &q in positions {
+                let prev = self.match_len.get(&q).copied().unwrap_or(0);
+                next.insert(q + 1, (prev + 1).min(max_match));
+            }
+        }
+        self.match_len = next;
+        self.occ.entry(token).or_default().push(p);
+
+        // Segmentation and similarity counts.
+        let anchors = self.model.anchor_ids();
+        if token == anchors.hyper {
+            let mut config = HashSet::new();
+            config.insert(token);
+            self.blocks.push(BlockState { start: p, perf_pos: None, config, inter_q: 0 });
+            // The query block changed: rebuild intersections against the
+            // new singleton query set {Hyperparameter}.
+            for b in &mut self.blocks {
+                b.inter_q = usize::from(b.config.contains(&token));
+            }
+        } else if let Some(qi) = self.blocks.len().checked_sub(1) {
+            if self.blocks[qi].perf_pos.is_none() {
+                if token == anchors.perf {
+                    self.blocks[qi].perf_pos = Some(p);
+                } else if self.blocks[qi].config.insert(token) {
+                    // The query config gained a distinct token: every block
+                    // already containing it intersects one deeper (the
+                    // query itself included, keeping its self-sim at 1).
+                    for b in &mut self.blocks {
+                        if b.config.contains(&token) {
+                            b.inter_q += 1;
+                        }
+                    }
+                }
+            }
+        }
+
+        self.tokens.push(token);
+    }
+
+    fn logits(&self) -> Vec<f32> {
+        let (votes, strength) = self.assemble_votes();
+        let query_start = self.blocks.last().map(|b| b.start);
+        self.model.finish_logits(
+            &self.tokens,
+            self.blocks.len(),
+            query_start,
+            &votes,
+            strength,
+            self.seed,
+        )
+    }
+
+    fn fork(&self) -> Box<dyn DecodeSession + '_> {
+        Box::new(self.clone())
+    }
+
+    fn rekey(&mut self, seed: u64) -> bool {
+        self.seed = seed;
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::LanguageModel;
+
+    fn example(tiles: (i64, i64, i64), value: &str) -> String {
+        format!(
+            "Hyperparameter configuration: size is SM, outer_loop_tiling_factor is {}, \
+             middle_loop_tiling_factor is {}, inner_loop_tiling_factor is {}\n\
+             Performance: {value}\n",
+            tiles.0, tiles.1, tiles.2
+        )
+    }
+
+    fn prompt(values: &[&str]) -> String {
+        let tiles = [(80, 64, 100), (4, 8, 16), (32, 50, 96), (128, 20, 8)];
+        let mut p = String::from("Here are the examples:\n");
+        for (i, v) in values.iter().enumerate() {
+            p.push_str(&example(tiles[i % tiles.len()], v));
+        }
+        p.push_str(
+            "Hyperparameter configuration: size is SM, outer_loop_tiling_factor is 80, \
+             middle_loop_tiling_factor is 64, inner_loop_tiling_factor is 128\n\
+             Performance: ",
+        );
+        p
+    }
+
+    fn max_abs_diff(a: &[f32], b: &[f32]) -> f32 {
+        assert_eq!(a.len(), b.len());
+        a.iter()
+            .zip(b)
+            .map(|(&x, &y)| match (x.is_finite(), y.is_finite()) {
+                (true, true) => (x - y).abs(),
+                (false, false) => {
+                    assert_eq!(x, y, "support mismatch");
+                    0.0
+                }
+                _ => panic!("support mismatch: {x} vs {y}"),
+            })
+            .fold(0.0, f32::max)
+    }
+
+    #[test]
+    fn session_matches_batch_at_every_prefix_of_a_real_prompt() {
+        let m = InductionLm::paper(3);
+        let ids = m
+            .tokenizer()
+            .encode(&prompt(&["0.0022155", "0.0051230", "0.0031999"]));
+        let mut s = m.session();
+        for (i, &t) in ids.iter().enumerate() {
+            s.append(t);
+            let diff = max_abs_diff(&s.logits(), &m.logits(&ids[..=i]));
+            assert!(diff < 1e-4, "prefix {}: max diff {diff}", i + 1);
+        }
+    }
+
+    #[test]
+    fn session_matches_batch_through_a_generation_tail() {
+        // Continue past the prompt with generated-looking tokens, covering
+        // the value states and the post-value scaffold.
+        let m = InductionLm::paper(0);
+        let tok = m.tokenizer();
+        let mut ids = tok.encode(&prompt(&["0.0022155", "0.0051230"]));
+        ids.extend(tok.encode("0.0023117\nHyperparameter"));
+        let mut s = m.session();
+        for (i, &t) in ids.iter().enumerate() {
+            s.append(t);
+            let diff = max_abs_diff(&s.logits(), &m.logits(&ids[..=i]));
+            assert!(diff < 1e-4, "prefix {}: max diff {diff}", i + 1);
+        }
+    }
+
+    #[test]
+    fn empty_session_matches_empty_batch() {
+        let m = InductionLm::paper(0);
+        let s = m.session();
+        assert_eq!(max_abs_diff(&s.logits(), &m.logits(&[])), 0.0);
+    }
+
+    #[test]
+    fn fork_is_independent_and_rekey_matches_a_reseeded_model() {
+        let a = InductionLm::paper(1);
+        let b = InductionLm::paper(9);
+        let ids = a.tokenizer().encode(&prompt(&["0.0022155", "0.0051230"]));
+        let mut parent = a.session();
+        parent.extend(&ids);
+        let before = parent.logits();
+        {
+            let mut fork = parent.fork();
+            assert!(fork.rekey(9), "induction sessions can re-key jitter");
+            let diff = max_abs_diff(&fork.logits(), &b.logits(&ids));
+            assert!(diff < 1e-6, "rekeyed fork vs seed-9 model: {diff}");
+            fork.append(a.tokenizer().encode("0")[0]);
+        }
+        assert_eq!(parent.logits(), before, "fork must not disturb the parent");
+        let diff = max_abs_diff(&parent.logits(), &a.logits(&ids));
+        assert!(diff < 1e-6, "parent still keyed by its own seed");
+    }
+
+    #[test]
+    fn match_lengths_follow_the_recurrence() {
+        let m = InductionLm::paper(0);
+        let tok = m.tokenizer();
+        let ids = tok.encode("80 64 80 64 80");
+        let mut s = InductionLmSession::new(&m);
+        for &t in &ids {
+            s.append(t);
+        }
+        // Batch ground truth: longest common suffix ending before t vs the
+        // full tail, capped.
+        let cfg = m.config();
+        for t in 1..ids.len() {
+            let mut k = 0usize;
+            while k < cfg.max_match && k < t {
+                if ids[t - 1 - k] != ids[ids.len() - 1 - k] {
+                    break;
+                }
+                k += 1;
+            }
+            assert_eq!(
+                s.match_len.get(&t).copied().unwrap_or(0),
+                k,
+                "position {t}"
+            );
+        }
+    }
+
+    mod equivalence_props {
+        use super::*;
+        use proptest::prelude::*;
+
+        /// Random streams over a small alphabet that includes the anchor
+        /// tokens, so segmentation, value states and drift all get
+        /// exercised, with heavy repetition to drive the match index.
+        fn arb_stream() -> impl Strategy<Value = Vec<u8>> {
+            proptest::collection::vec(0u8..12, 1..80)
+        }
+
+        fn alphabet(m: &InductionLm) -> Vec<TokenId> {
+            let v = m.tokenizer().vocab();
+            let out: Vec<TokenId> = [
+                "Hyperparameter", "Performance", ": ", "\n", " is", "0", ".",
+                "002", "215", "80", " ", ", ",
+            ]
+            .iter()
+            .filter_map(|s| v.token_id(s))
+            .collect();
+            assert!(out.len() >= 8, "alphabet unexpectedly sparse");
+            out
+        }
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(48))]
+
+            #[test]
+            fn random_streams_agree_with_batch(stream in arb_stream(), seed in 0u64..8) {
+                let m = InductionLm::paper(seed);
+                let alpha = alphabet(&m);
+                let ids: Vec<TokenId> =
+                    stream.iter().map(|&i| alpha[i as usize % alpha.len()]).collect();
+                let mut s = m.session();
+                for (i, &t) in ids.iter().enumerate() {
+                    s.append(t);
+                    let diff = max_abs_diff(&s.logits(), &m.logits(&ids[..=i]));
+                    prop_assert!(diff < 1e-4, "prefix {}: max diff {diff}", i + 1);
+                }
+            }
+
+            #[test]
+            fn forked_sessions_agree_with_batch_on_divergent_tails(
+                stem in arb_stream(),
+                tail_a in arb_stream(),
+                tail_b in arb_stream(),
+            ) {
+                let m = InductionLm::paper(0);
+                let alpha = alphabet(&m);
+                let to_ids = |s: &[u8]| -> Vec<TokenId> {
+                    s.iter().map(|&i| alpha[i as usize % alpha.len()]).collect()
+                };
+                let stem = to_ids(&stem);
+                let (tail_a, tail_b) = (to_ids(&tail_a), to_ids(&tail_b));
+                let mut parent = m.session();
+                parent.extend(&stem);
+                let mut fa = parent.fork();
+                fa.extend(&tail_a);
+                let mut ctx_a = stem.clone();
+                ctx_a.extend_from_slice(&tail_a);
+                prop_assert!(max_abs_diff(&fa.logits(), &m.logits(&ctx_a)) < 1e-4);
+                drop(fa);
+                let mut fb = parent.fork();
+                fb.extend(&tail_b);
+                let mut ctx_b = stem.clone();
+                ctx_b.extend_from_slice(&tail_b);
+                prop_assert!(max_abs_diff(&fb.logits(), &m.logits(&ctx_b)) < 1e-4);
+            }
+        }
+    }
+}

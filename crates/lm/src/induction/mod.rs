@@ -36,9 +36,11 @@
 //!   probabilities but never the support.
 
 pub mod blocks;
+pub mod incremental;
 pub mod prior;
 
 use crate::model::LanguageModel;
+use crate::session::DecodeSession;
 use blocks::{AnchorIds, ContextMap};
 use lmpeel_stats::rng::{hash_bytes, hash_to_unit};
 use lmpeel_tokenizer::{TokenId, Tokenizer, EOS};
@@ -229,6 +231,16 @@ impl InductionLm {
         self.seed
     }
 
+    /// The surrogate's tuning parameters.
+    pub fn config(&self) -> &InductionConfig {
+        &self.cfg
+    }
+
+    /// The segmentation anchor ids (shared with the incremental session).
+    pub(crate) fn anchor_ids(&self) -> AnchorIds {
+        self.anchors
+    }
+
     /// Suffix-match votes: for every position whose preceding tokens match
     /// the context's trailing tokens for `k >= min_match`, the token at that
     /// position receives weight `lambda^k * block_weight`.
@@ -370,15 +382,43 @@ impl LanguageModel for InductionLm {
     }
 
     fn logits(&self, context: &[TokenId]) -> Vec<f32> {
+        let map = ContextMap::segment(context, self.anchors);
+        let sims = map.config_similarities(context);
+        let (votes, strength) = self.induction_votes(context, &map, &sims);
+        let query_start = map.blocks.last().map(|b| b.span.start);
+        self.finish_logits(context, map.blocks.len(), query_start, &votes, strength, self.seed)
+    }
+
+    fn name(&self) -> String {
+        format!("induction-lm(seed={})", self.seed)
+    }
+
+    fn session(&self) -> Box<dyn DecodeSession + '_> {
+        Box::new(incremental::InductionLmSession::new(self))
+    }
+}
+
+impl InductionLm {
+    /// Turn a vote distribution plus context geometry into logits: the
+    /// shared tail of the batch [`LanguageModel::logits`] path and the
+    /// incremental [`incremental::InductionLmSession`] path. `seed` keys
+    /// only the logit jitter (sessions may re-key it; the batch path passes
+    /// the model's own seed).
+    fn finish_logits(
+        &self,
+        context: &[TokenId],
+        n_blocks: usize,
+        query_start: Option<usize>,
+        votes: &HashMap<TokenId, f64>,
+        strength: f64,
+        seed: u64,
+    ) -> Vec<f32> {
         let vocab = self.tokenizer.vocab();
         let n = vocab.len();
         let mut p = vec![0.0f64; n];
 
-        let map = ContextMap::segment(context, self.anchors);
-        let sims = map.config_similarities(context);
-        let (votes, strength) = self.induction_votes(context, &map, &sims);
-        let p_ind = Self::normalized(&votes);
-        let n_examples = map.blocks.len().saturating_sub(1);
+        let p_ind = Self::normalized(votes);
+        let n_examples = n_blocks.saturating_sub(1);
 
         let state = prior::value_state(context, &self.tokenizer);
         match state {
@@ -396,11 +436,7 @@ impl LanguageModel for InductionLm {
                         // "confusing" and reliably derail the response.
                         if matches!(s, ValueState::Start) && !self.drift_ids.is_empty() {
                             let ramp = ((n_examples as f64 - 20.0) / 80.0).clamp(0.0, 1.0);
-                            let query_start = map
-                                .blocks
-                                .last()
-                                .map(|b| b.span.start)
-                                .unwrap_or(context.len());
+                            let query_start = query_start.unwrap_or(context.len());
                             // Salting with the block count makes each value
                             // onset (the original query, and any restarted
                             // example after a derail) an independent draw —
@@ -410,7 +446,7 @@ impl LanguageModel for InductionLm {
                             let confused = self.prompt_hash_unit(
                                 context,
                                 query_start,
-                                map.blocks.len() as u64,
+                                n_blocks as u64,
                             ) < self.cfg.confusion_at_100 * ramp;
                             let drift = if confused {
                                 self.cfg.drift_confused
@@ -434,7 +470,7 @@ impl LanguageModel for InductionLm {
                             self.cfg.prior.target_decimals.saturating_sub(frac_digits);
                         if remaining >= 3 {
                             let w_exact = raw_w.min(self.cfg.copy_cap_frac);
-                            let smeared = self.smear(&votes);
+                            let smeared = self.smear(votes);
                             let w_smear = if smeared.is_empty() {
                                 0.0
                             } else {
@@ -491,7 +527,7 @@ impl LanguageModel for InductionLm {
                     f32::NEG_INFINITY
                 } else {
                     let mut key = [0u8; 24];
-                    key[..8].copy_from_slice(&self.seed.to_le_bytes());
+                    key[..8].copy_from_slice(&seed.to_le_bytes());
                     key[8..16].copy_from_slice(&t_len.to_le_bytes());
                     key[16..24].copy_from_slice(&(i as u64).to_le_bytes());
                     let u = hash_to_unit(hash_bytes(&key)) as f32;
@@ -499,10 +535,6 @@ impl LanguageModel for InductionLm {
                 }
             })
             .collect()
-    }
-
-    fn name(&self) -> String {
-        format!("induction-lm(seed={})", self.seed)
     }
 }
 

@@ -27,11 +27,14 @@ pub mod generate;
 pub mod induction;
 pub mod model;
 pub mod sampler;
+pub mod session;
 pub mod trace;
 
 pub use constrain::{generate_constrained, LogitConstraint, ValueGrammar};
-pub use generate::{generate, GenerateSpec};
+pub use generate::{generate, generate_session, GenerateSpec};
+pub use induction::incremental::InductionLmSession;
 pub use induction::{InductionConfig, InductionLm};
 pub use model::LanguageModel;
 pub use sampler::Sampler;
+pub use session::{DecodeSession, FallbackSession};
 pub use trace::{GenerationTrace, GenStep, TokenAlt};

@@ -1,5 +1,6 @@
 //! The language-model trait.
 
+use crate::session::{DecodeSession, FallbackSession};
 use lmpeel_tokenizer::{TokenId, Tokenizer};
 
 /// An autoregressive language model exposing raw next-token logits.
@@ -26,6 +27,18 @@ pub trait LanguageModel {
 
     /// Human-readable model name for reports.
     fn name(&self) -> String;
+
+    /// Start an incremental [`DecodeSession`] over this model.
+    ///
+    /// The default is a [`FallbackSession`] that recomputes batch
+    /// [`LanguageModel::logits`] over the accumulated context — correct for
+    /// every model. Substrates with cacheable per-context state (the
+    /// transformer's key/value rows, the induction surrogate's segmentation
+    /// and match indices) override this to make each decode step O(context)
+    /// instead of O(context²) or worse.
+    fn session(&self) -> Box<dyn DecodeSession + '_> {
+        Box::new(FallbackSession::new(self))
+    }
 }
 
 /// Blanket impl so `&M` is itself a model (lets callers pass either owned
@@ -41,6 +54,12 @@ impl<M: LanguageModel + ?Sized> LanguageModel for &M {
 
     fn name(&self) -> String {
         (**self).name()
+    }
+
+    fn session(&self) -> Box<dyn DecodeSession + '_> {
+        // Forward so a borrowed model still reaches the native session
+        // (the default would wrap `&M` in a fresh fallback).
+        (**self).session()
     }
 }
 

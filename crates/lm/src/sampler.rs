@@ -269,6 +269,12 @@ mod proptests {
         #[test]
         fn greedy_is_the_temperature_zero_limit(logits in arb_logits()) {
             prop_assume!(logits.iter().any(|l| l.is_finite()));
+            // A near-tie between the top two logits keeps the cold
+            // distribution flat (and makes the argmax ambiguous), so the
+            // limit statement only holds given a margin.
+            let mut sorted: Vec<f32> = logits.iter().copied().filter(|l| l.is_finite()).collect();
+            sorted.sort_by(|a, b| b.partial_cmp(a).unwrap());
+            prop_assume!(sorted.len() < 2 || sorted[0] - sorted[1] > 0.05);
             let greedy = Sampler::greedy().distribution(&logits);
             let cold = Sampler { temperature: 0.01, top_k: 0, top_p: 1.0 }
                 .distribution(&logits);

@@ -1,0 +1,183 @@
+//! Incremental decoding sessions.
+//!
+//! The paper's experiment grid decodes ~285 generations of up to 96 tokens
+//! over prompts thousands of tokens long, under several sampling seeds per
+//! prompt. With only the batch [`LanguageModel::logits`] entry point every
+//! generated token pays a from-scratch forward pass over the whole context.
+//! A [`DecodeSession`] is the stateful alternative: tokens are fed once via
+//! [`DecodeSession::append`], the substrate keeps whatever per-context state
+//! makes the next [`DecodeSession::logits`] call cheap (key/value rows for
+//! the transformer, segmentation and match indices for the induction
+//! surrogate), and [`DecodeSession::fork`] snapshots the state so a shared
+//! prompt prefix is paid for once across seeds.
+//!
+//! Every model gets a session for free: the default
+//! [`LanguageModel::session`] wraps the model in a [`FallbackSession`] that
+//! recomputes batch logits over the accumulated tokens, so generic callers
+//! can always drive a session and substrates opt into incrementality by
+//! overriding `session()`.
+
+use crate::model::LanguageModel;
+use lmpeel_tokenizer::TokenId;
+
+/// A stateful incremental decoder over one growing token context.
+///
+/// Sessions are deterministic: feeding the same tokens to a fresh session
+/// must yield the same logits as the owning model's batch
+/// [`LanguageModel::logits`] on the same context (the equivalence suites in
+/// this workspace pin the two paths together to < 1e-4 max absolute
+/// difference). A forked session is fully independent of its parent — the
+/// parent must stay immutable only while forks that borrow it are alive.
+pub trait DecodeSession {
+    /// The tokens fed so far, in order.
+    fn tokens(&self) -> &[TokenId];
+
+    /// Feed one token, updating incremental state.
+    fn append(&mut self, token: TokenId);
+
+    /// Feed a batch of tokens (prompt prefill). Default: append each.
+    fn extend(&mut self, tokens: &[TokenId]) {
+        for &t in tokens {
+            self.append(t);
+        }
+    }
+
+    /// Full-vocabulary logits for the next token after the fed context.
+    /// Same contract as [`LanguageModel::logits`]: one entry per vocab id,
+    /// `NEG_INFINITY` for infeasible tokens.
+    fn logits(&self) -> Vec<f32>;
+
+    /// Snapshot this session into an independent copy sharing the parent's
+    /// model borrow. Appending to the fork never affects the parent.
+    fn fork(&self) -> Box<dyn DecodeSession + '_>;
+
+    /// Re-key any *seed-dependent logit state* (the paper's Figure 4
+    /// jitter) so this session's future logits match a model identically
+    /// configured but constructed with `seed`. Returns `false` when the
+    /// substrate cannot re-key (the seed is baked into weights), in which
+    /// case callers must fall back to a per-seed model.
+    fn rekey(&mut self, seed: u64) -> bool {
+        let _ = seed;
+        false
+    }
+
+    /// Number of tokens fed.
+    fn len(&self) -> usize {
+        self.tokens().len()
+    }
+
+    /// True if no tokens have been fed.
+    fn is_empty(&self) -> bool {
+        self.tokens().is_empty()
+    }
+}
+
+/// The from-scratch session every model gets by default: keeps the token
+/// vector and recomputes batch logits on demand. Correct for any model,
+/// incremental for none.
+pub struct FallbackSession<'m, M: LanguageModel + ?Sized> {
+    model: &'m M,
+    tokens: Vec<TokenId>,
+}
+
+impl<'m, M: LanguageModel + ?Sized> FallbackSession<'m, M> {
+    /// Empty session over `model`.
+    pub fn new(model: &'m M) -> Self {
+        Self { model, tokens: Vec::new() }
+    }
+}
+
+impl<M: LanguageModel + ?Sized> DecodeSession for FallbackSession<'_, M> {
+    fn tokens(&self) -> &[TokenId] {
+        &self.tokens
+    }
+
+    fn append(&mut self, token: TokenId) {
+        self.tokens.push(token);
+    }
+
+    fn extend(&mut self, tokens: &[TokenId]) {
+        self.tokens.extend_from_slice(tokens);
+    }
+
+    fn logits(&self) -> Vec<f32> {
+        self.model.logits(&self.tokens)
+    }
+
+    fn fork(&self) -> Box<dyn DecodeSession + '_> {
+        Box::new(FallbackSession { model: self.model, tokens: self.tokens.clone() })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::testutil::CycleLm;
+    use lmpeel_tokenizer::Tokenizer;
+
+    fn cycle_model() -> CycleLm {
+        let t = Tokenizer::paper();
+        let cycle = vec![t.encode("a")[0], t.encode("b")[0], t.encode("c")[0]];
+        CycleLm { tokenizer: t, cycle }
+    }
+
+    #[test]
+    fn fallback_session_matches_batch_logits() {
+        let m = cycle_model();
+        let ctx = m.tokenizer.encode("abcab");
+        let mut s = m.session();
+        s.extend(&ctx);
+        assert_eq!(s.tokens(), &ctx[..]);
+        assert_eq!(s.logits(), m.logits(&ctx));
+        assert_eq!(s.len(), ctx.len());
+        assert!(!s.is_empty());
+    }
+
+    #[test]
+    fn append_and_extend_agree() {
+        let m = cycle_model();
+        let ctx = m.tokenizer.encode("abc");
+        let mut a = m.session();
+        a.extend(&ctx);
+        let mut b = m.session();
+        for &t in &ctx {
+            b.append(t);
+        }
+        assert_eq!(a.tokens(), b.tokens());
+        assert_eq!(a.logits(), b.logits());
+    }
+
+    #[test]
+    fn fork_is_independent_of_parent() {
+        let m = cycle_model();
+        let prompt = m.tokenizer.encode("ab");
+        let extra = m.tokenizer.encode("c")[0];
+        let mut parent = m.session();
+        parent.extend(&prompt);
+        let before = parent.logits();
+        {
+            let mut child = parent.fork();
+            child.append(extra);
+            assert_eq!(child.len(), parent.len() + 1);
+            assert_ne!(child.tokens(), parent.tokens());
+        }
+        assert_eq!(parent.logits(), before, "fork must not disturb parent");
+    }
+
+    #[test]
+    fn fallback_cannot_rekey() {
+        let m = cycle_model();
+        let mut s = m.session();
+        assert!(!s.rekey(7));
+    }
+
+    #[test]
+    fn session_through_dyn_model_reference() {
+        let m = cycle_model();
+        let by_ref: &dyn LanguageModel = &m;
+        let ctx = m.tokenizer.encode("ab");
+        let mut s = by_ref.session();
+        s.extend(&ctx);
+        assert_eq!(s.logits(), m.logits(&ctx));
+    }
+}

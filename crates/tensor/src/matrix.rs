@@ -68,6 +68,12 @@ impl Tensor2 {
         &self.data
     }
 
+    /// Mutable flat row-major storage (for chunked parallel row writes;
+    /// `data_mut().par_chunks_mut(cols)` yields one chunk per row).
+    pub fn data_mut(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
     /// Element accessor.
     #[inline]
     pub fn get(&self, i: usize, j: usize) -> f32 {
@@ -93,15 +99,22 @@ impl Tensor2 {
         t
     }
 
-    /// `y = self * x` for a column vector `x` (len = cols).
+    /// `y = self * x` for a column vector `x` (len = cols), rayon-parallel
+    /// over result rows. Chunked so short matrices don't pay a fork-join
+    /// per element.
     ///
     /// # Panics
     /// Panics on dimension mismatch.
     pub fn matvec(&self, x: &[f32]) -> Vec<f32> {
         assert_eq!(x.len(), self.cols, "matvec dimension mismatch");
-        (0..self.rows)
-            .map(|i| dot(self.row(i), x))
-            .collect()
+        let mut y = vec![0.0f32; self.rows];
+        let chunk = 64;
+        y.par_chunks_mut(chunk).enumerate().for_each(|(c, ys)| {
+            for (o, i) in ys.iter_mut().zip(c * chunk..) {
+                *o = dot(self.row(i), x);
+            }
+        });
+        y
     }
 
     /// `self * other`, rayon-parallel over result rows.
@@ -194,6 +207,18 @@ mod tests {
         let ym = a.matmul(&xm);
         for (i, &yi) in y.iter().enumerate() {
             assert!((yi - ym.get(i, 0)).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn matvec_handles_chunk_boundaries() {
+        // Rows straddling the parallel chunk size must all be written.
+        let a = Tensor2::from_fn(130, 3, |i, j| (i as f32) * 0.5 - j as f32);
+        let x = vec![2.0, -1.0, 0.25];
+        let y = a.matvec(&x);
+        assert_eq!(y.len(), 130);
+        for (i, &yi) in y.iter().enumerate() {
+            assert!((yi - dot(a.row(i), &x)).abs() < 1e-6, "row {i}");
         }
     }
 

@@ -24,30 +24,34 @@ pub fn causal_attention(q: &Tensor2, k: &Tensor2, v: &Tensor2, beta: f32) -> Ten
     // Offset so query p aligns with key p when q is a suffix of the stream.
     let offset = k.rows() - q.rows();
 
-    let rows: Vec<Vec<f32>> = (0..t)
-        .into_par_iter()
-        .map(|p| {
-            let limit = offset + p; // inclusive causal horizon
-            let mut scores: Vec<f32> = (0..=limit)
-                .map(|j| beta * dot(q.row(p), k.row(j)))
-                .collect();
-            softmax_in_place(&mut scores);
-            let mut acc = vec![0.0f32; dv];
-            for (j, &a) in scores.iter().enumerate() {
-                if a < 1e-8 {
-                    continue;
-                }
-                for (o, &x) in acc.iter_mut().zip(v.row(j)) {
-                    *o += a * x;
-                }
-            }
-            acc
-        })
-        .collect();
-    for (p, row) in rows.into_iter().enumerate() {
-        out.row_mut(p).copy_from_slice(&row);
+    if t == 1 {
+        // Single-query fast path (the per-step suffix query of incremental
+        // decoding): skip the parallel machinery, one row isn't worth a
+        // fork-join.
+        attend_row(out.row_mut(0), q.row(0), k, v, beta, offset);
+        return out;
     }
+    // Write each output row in place — no per-row Vec collection.
+    out.data_mut()
+        .par_chunks_mut(dv)
+        .enumerate()
+        .for_each(|(p, out_row)| attend_row(out_row, q.row(p), k, v, beta, offset + p));
     out
+}
+
+/// One attention row: softmax(beta * <q_row, k_0..=limit>) mixing value
+/// rows into `out_row` (assumed zeroed).
+fn attend_row(out_row: &mut [f32], q_row: &[f32], k: &Tensor2, v: &Tensor2, beta: f32, limit: usize) {
+    let mut scores: Vec<f32> = (0..=limit).map(|j| beta * dot(q_row, k.row(j))).collect();
+    softmax_in_place(&mut scores);
+    for (j, &a) in scores.iter().enumerate() {
+        if a < 1e-8 {
+            continue;
+        }
+        for (o, &x) in out_row.iter_mut().zip(v.row(j)) {
+            *o += a * x;
+        }
+    }
 }
 
 #[cfg(test)]

@@ -23,8 +23,9 @@
 //! [`crate::attention`].
 
 use crate::attention::causal_attention;
+use crate::session::TransformerSession;
 use crate::signature::{position_encoding, rotate_back, token_signature};
-use lmpeel_lm::LanguageModel;
+use lmpeel_lm::{DecodeSession, LanguageModel};
 use lmpeel_tensor::Tensor2;
 use lmpeel_tokenizer::{TokenId, Tokenizer};
 
@@ -109,21 +110,15 @@ impl InductionTransformer {
         self.signatures.row(token as usize).to_vec()
     }
 
-    /// Unembed an output vector into full-vocabulary logits.
+    /// Unembed an output vector into full-vocabulary logits: one parallel
+    /// matrix–vector product against the signature table, then scale and
+    /// floor. Shared by the batch forward pass and the incremental session.
     pub fn unembed(&self, s2: &[f32]) -> Vec<f32> {
-        let n = self.tokenizer.vocab().len();
-        (0..n)
-            .map(|tid| {
-                let sim: f32 = self
-                    .signatures
-                    .row(tid)
-                    .iter()
-                    .zip(s2)
-                    .map(|(a, b)| a * b)
-                    .sum();
-                (self.cfg.kappa * sim).max(self.cfg.floor)
-            })
-            .collect()
+        let mut logits = self.signatures.matvec(s2);
+        for l in &mut logits {
+            *l = (self.cfg.kappa * *l).max(self.cfg.floor);
+        }
+        logits
     }
 
     /// Full forward pass; returns the final position's S2 (copied-output)
@@ -219,6 +214,10 @@ impl LanguageModel for InductionTransformer {
             "induction-transformer(d_sig={}, rope_pairs={})",
             self.cfg.d_sig, self.cfg.rope_pairs
         )
+    }
+
+    fn session(&self) -> Box<dyn DecodeSession + '_> {
+        Box::new(TransformerSession::new(self))
     }
 }
 

@@ -1,0 +1,602 @@
+//! Workspace-local stand-in for the `proptest` crate.
+//!
+//! Implements the subset the workspace uses: the [`proptest!`] macro with an
+//! optional `#![proptest_config(..)]` header, `prop_assert*`/`prop_assume!`,
+//! weighted [`prop_oneof!`], [`Just`], range strategies for integers and
+//! floats, `collection::vec`, `bool::ANY`, and a small regex-flavoured
+//! string-strategy parser covering character classes (`[ -~\n\t]{0,200}`)
+//! and the `\PC{0,60}` (printable unicode) form. Cases are generated from a
+//! ChaCha8 stream keyed by the test name and case index, so failures
+//! reproduce deterministically. No shrinking: the harness reports the first
+//! failing input verbatim.
+
+use rand::RngExt;
+use rand_chacha::rand_core::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// Runner configuration, settable per-block via `#![proptest_config(..)]`.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of generated cases per property.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 256 }
+    }
+}
+
+impl ProptestConfig {
+    /// Config running `cases` cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+/// Why a test case did not pass.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// Assertion failure: the property is falsified.
+    Fail(String),
+    /// Input rejected by `prop_assume!`; does not falsify the property.
+    Reject(String),
+}
+
+impl TestCaseError {
+    /// Construct a failure.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError::Fail(msg.into())
+    }
+    /// Construct a rejection.
+    pub fn reject(msg: impl Into<String>) -> Self {
+        TestCaseError::Reject(msg.into())
+    }
+}
+
+/// A value generator. Unlike upstream there is no shrink tree; a strategy is
+/// just a deterministic map from RNG state to a value.
+pub trait Strategy {
+    /// Generated value type.
+    type Value: std::fmt::Debug;
+
+    /// Generate one value.
+    fn pick(&self, rng: &mut ChaCha8Rng) -> Self::Value;
+
+    /// Map generated values through `f`.
+    fn prop_map<U: std::fmt::Debug, F: Fn(Self::Value) -> U>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Keep only values satisfying `pred` (bounded retries).
+    fn prop_filter<F: Fn(&Self::Value) -> bool>(
+        self,
+        whence: &'static str,
+        pred: F,
+    ) -> Filter<Self, F>
+    where
+        Self: Sized,
+    {
+        Filter { inner: self, pred, whence }
+    }
+
+    /// Erase the concrete strategy type.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        Box::new(self)
+    }
+}
+
+/// A type-erased strategy.
+pub type BoxedStrategy<V> = Box<dyn Strategy<Value = V>>;
+
+impl<V: std::fmt::Debug> Strategy for BoxedStrategy<V> {
+    type Value = V;
+    fn pick(&self, rng: &mut ChaCha8Rng) -> V {
+        (**self).pick(rng)
+    }
+}
+
+/// See [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, U: std::fmt::Debug, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+    fn pick(&self, rng: &mut ChaCha8Rng) -> U {
+        (self.f)(self.inner.pick(rng))
+    }
+}
+
+/// See [`Strategy::prop_filter`].
+pub struct Filter<S, F> {
+    inner: S,
+    pred: F,
+    whence: &'static str,
+}
+
+impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+    type Value = S::Value;
+    fn pick(&self, rng: &mut ChaCha8Rng) -> S::Value {
+        for _ in 0..1000 {
+            let v = self.inner.pick(rng);
+            if (self.pred)(&v) {
+                return v;
+            }
+        }
+        panic!("prop_filter {:?} rejected 1000 consecutive inputs", self.whence);
+    }
+}
+
+/// Strategy producing one fixed value.
+#[derive(Debug, Clone)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone + std::fmt::Debug> Strategy for Just<T> {
+    type Value = T;
+    fn pick(&self, _rng: &mut ChaCha8Rng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Weighted union over same-valued strategies; built by [`prop_oneof!`].
+pub struct Union<V> {
+    variants: Vec<(u32, BoxedStrategy<V>)>,
+    total: u32,
+}
+
+impl<V: std::fmt::Debug> Union<V> {
+    /// Build from `(weight, strategy)` pairs.
+    pub fn new_weighted(variants: Vec<(u32, BoxedStrategy<V>)>) -> Self {
+        assert!(!variants.is_empty(), "prop_oneof needs at least one variant");
+        let total = variants.iter().map(|&(w, _)| w).sum();
+        assert!(total > 0, "prop_oneof weights must sum to > 0");
+        Self { variants, total }
+    }
+}
+
+impl<V: std::fmt::Debug> Strategy for Union<V> {
+    type Value = V;
+    fn pick(&self, rng: &mut ChaCha8Rng) -> V {
+        let mut roll = rng.random_range(0u32..self.total);
+        for (w, s) in &self.variants {
+            if roll < *w {
+                return s.pick(rng);
+            }
+            roll -= w;
+        }
+        unreachable!("weights covered the roll")
+    }
+}
+
+macro_rules! numeric_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn pick(&self, rng: &mut ChaCha8Rng) -> $t {
+                rng.random_range(self.clone())
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn pick(&self, rng: &mut ChaCha8Rng) -> $t {
+                rng.random_range(self.clone())
+            }
+        }
+    )*};
+}
+numeric_range_strategy!(u8, u16, u32, u64, usize, i32, i64, f32, f64);
+
+pub mod bool {
+    //! Boolean strategies.
+    use super::*;
+
+    /// Uniform over `{false, true}`.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Any;
+
+    /// The canonical instance, as `proptest::bool::ANY`.
+    pub const ANY: Any = Any;
+
+    impl Strategy for Any {
+        type Value = ::std::primitive::bool;
+        fn pick(&self, rng: &mut ChaCha8Rng) -> ::std::primitive::bool {
+            rng.random::<::std::primitive::bool>()
+        }
+    }
+}
+
+pub mod collection {
+    //! Collection strategies.
+    use super::*;
+
+    /// Length specification for [`vec`].
+    pub trait SizeRange {
+        /// Draw a length.
+        fn pick_len(&self, rng: &mut ChaCha8Rng) -> usize;
+    }
+
+    impl SizeRange for usize {
+        fn pick_len(&self, _rng: &mut ChaCha8Rng) -> usize {
+            *self
+        }
+    }
+
+    impl SizeRange for std::ops::Range<usize> {
+        fn pick_len(&self, rng: &mut ChaCha8Rng) -> usize {
+            rng.random_range(self.clone())
+        }
+    }
+
+    impl SizeRange for std::ops::RangeInclusive<usize> {
+        fn pick_len(&self, rng: &mut ChaCha8Rng) -> usize {
+            rng.random_range(self.clone())
+        }
+    }
+
+    /// Strategy for vectors of `element` values with length drawn from
+    /// `size`.
+    pub fn vec<S: Strategy, Z: SizeRange>(element: S, size: Z) -> VecStrategy<S, Z> {
+        VecStrategy { element, size }
+    }
+
+    /// See [`vec`].
+    pub struct VecStrategy<S, Z> {
+        element: S,
+        size: Z,
+    }
+
+    impl<S: Strategy, Z: SizeRange> Strategy for VecStrategy<S, Z> {
+        type Value = Vec<S::Value>;
+        fn pick(&self, rng: &mut ChaCha8Rng) -> Vec<S::Value> {
+            let n = self.size.pick_len(rng);
+            (0..n).map(|_| self.element.pick(rng)).collect()
+        }
+    }
+}
+
+mod strings {
+    //! A regex-flavoured string strategy covering the workspace's patterns.
+    use super::*;
+
+    enum CharClass {
+        /// Explicit set of chars (from `[...]`).
+        Set(Vec<(char, char)>),
+        /// `\PC`: any non-control, non-surrogate scalar value.
+        Printable,
+    }
+
+    pub struct StringPattern {
+        class: CharClass,
+        min_len: usize,
+        max_len: usize,
+    }
+
+    fn parse_class(pat: &str) -> (CharClass, usize) {
+        let bytes: Vec<char> = pat.chars().collect();
+        if pat.starts_with("\\PC") || pat.starts_with("\\pL") {
+            return (CharClass::Printable, 3);
+        }
+        assert!(
+            pat.starts_with('['),
+            "unsupported string-strategy pattern {pat:?}: expected a char class"
+        );
+        let mut ranges: Vec<(char, char)> = Vec::new();
+        let mut i = 1;
+        let mut pending: Option<char> = None;
+        while i < bytes.len() && bytes[i] != ']' {
+            let c = if bytes[i] == '\\' {
+                i += 1;
+                match bytes.get(i) {
+                    Some('n') => '\n',
+                    Some('t') => '\t',
+                    Some('r') => '\r',
+                    Some(&c) => c,
+                    None => panic!("dangling escape in {pat:?}"),
+                }
+            } else {
+                bytes[i]
+            };
+            if bytes.get(i + 1) == Some(&'-') && bytes.get(i + 2).is_some_and(|&c| c != ']') {
+                // A range like ` -~`.
+                let hi = if bytes[i + 2] == '\\' {
+                    i += 1;
+                    match bytes.get(i + 2) {
+                        Some('n') => '\n',
+                        Some('t') => '\t',
+                        Some(&c) => c,
+                        None => panic!("dangling escape in {pat:?}"),
+                    }
+                } else {
+                    bytes[i + 2]
+                };
+                ranges.push((c, hi));
+                i += 3;
+            } else {
+                if let Some(p) = pending.take() {
+                    ranges.push((p, p));
+                }
+                pending = Some(c);
+                i += 1;
+            }
+            if let Some(p) = pending.take() {
+                ranges.push((p, p));
+            }
+        }
+        assert!(bytes.get(i) == Some(&']'), "unterminated char class in {pat:?}");
+        (CharClass::Set(ranges), i + 1)
+    }
+
+    fn parse_repeat(pat: &str) -> (usize, usize) {
+        if pat.is_empty() {
+            return (1, 1);
+        }
+        let inner = pat
+            .strip_prefix('{')
+            .and_then(|p| p.strip_suffix('}'))
+            .unwrap_or_else(|| panic!("unsupported repetition {pat:?}"));
+        match inner.split_once(',') {
+            Some((lo, hi)) => (
+                lo.trim().parse().expect("repeat lower bound"),
+                hi.trim().parse().expect("repeat upper bound"),
+            ),
+            None => {
+                let n = inner.trim().parse().expect("repeat count");
+                (n, n)
+            }
+        }
+    }
+
+    pub fn parse(pat: &str) -> StringPattern {
+        let (class, consumed) = parse_class(pat);
+        let (min_len, max_len) = parse_repeat(&pat[consumed..]);
+        StringPattern { class, min_len, max_len }
+    }
+
+    fn pick_char(class: &CharClass, rng: &mut ChaCha8Rng) -> char {
+        match class {
+            CharClass::Set(ranges) => {
+                let total: u32 = ranges.iter().map(|&(a, b)| b as u32 - a as u32 + 1).sum();
+                let mut roll = rng.random_range(0u32..total);
+                for &(a, b) in ranges {
+                    let span = b as u32 - a as u32 + 1;
+                    if roll < span {
+                        return char::from_u32(a as u32 + roll).expect("in-range char");
+                    }
+                    roll -= span;
+                }
+                unreachable!()
+            }
+            CharClass::Printable => loop {
+                // Mix mostly-ASCII with occasional wider scalars, like
+                // upstream's unicode generation weighting.
+                let raw = if rng.random::<f64>() < 0.8 {
+                    rng.random_range(0x20u32..0x7f)
+                } else {
+                    rng.random_range(0xa0u32..0x2_0000)
+                };
+                if let Some(c) = char::from_u32(raw) {
+                    if !c.is_control() {
+                        return c;
+                    }
+                }
+            },
+        }
+    }
+
+    impl Strategy for StringPattern {
+        type Value = String;
+        fn pick(&self, rng: &mut ChaCha8Rng) -> String {
+            let n = rng.random_range(self.min_len..=self.max_len);
+            (0..n).map(|_| pick_char(&self.class, rng)).collect()
+        }
+    }
+}
+
+impl Strategy for &'static str {
+    type Value = String;
+    fn pick(&self, rng: &mut ChaCha8Rng) -> String {
+        strings::parse(self).pick(rng)
+    }
+}
+
+#[doc(hidden)]
+pub fn __rng_for_case(test_name: &str, case: u32) -> ChaCha8Rng {
+    // FNV-1a over the test name, xored with the case index.
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in test_name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    ChaCha8Rng::seed_from_u64(h ^ (0x9e37_79b9_7f4a_7c15u64.wrapping_mul(case as u64 + 1)))
+}
+
+/// Define property tests. Supports an optional
+/// `#![proptest_config(expr)]` header followed by `#[test] fn name(arg in
+/// strategy, ..) { body }` items.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!{ ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!{ (<$crate::ProptestConfig as ::std::default::Default>::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ( ($cfg:expr) $( #[test] fn $name:ident ( $( $arg:ident in $strat:expr ),* $(,)? ) $body:block )* ) => {
+        $(
+            #[test]
+            fn $name() {
+                let config: $crate::ProptestConfig = $cfg;
+                let mut rejected: u32 = 0;
+                let mut case: u32 = 0;
+                while case < config.cases {
+                    let mut __rng = $crate::__rng_for_case(
+                        concat!(module_path!(), "::", stringify!($name)),
+                        case + rejected,
+                    );
+                    $(
+                        let $arg = $crate::Strategy::pick(&($strat), &mut __rng);
+                    )*
+                    let __inputs = format!(
+                        concat!($(stringify!($arg), " = {:?}; ",)*),
+                        $(&$arg,)*
+                    );
+                    let result: ::std::result::Result<(), $crate::TestCaseError> =
+                        (|| { $body Ok(()) })();
+                    match result {
+                        Ok(()) => { case += 1; }
+                        Err($crate::TestCaseError::Reject(_)) => {
+                            rejected += 1;
+                            assert!(
+                                rejected < config.cases * 16 + 1024,
+                                "too many prop_assume rejections in {}",
+                                stringify!($name)
+                            );
+                        }
+                        Err($crate::TestCaseError::Fail(msg)) => {
+                            panic!(
+                                "proptest {} failed at case {}: {}\n  inputs: {}",
+                                stringify!($name), case, msg, __inputs
+                            );
+                        }
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// Assert a condition inside a property, with optional format message.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)*)));
+        }
+    };
+}
+
+/// Assert equality inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: `(left == right)`\n  left: `{:?}`\n right: `{:?}`", l, r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: `(left == right)`\n  left: `{:?}`\n right: `{:?}`: {}",
+                l, r, format!($($fmt)*)
+            )));
+        }
+    }};
+}
+
+/// Reject inputs that do not satisfy a precondition.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::reject(stringify!($cond)));
+        }
+    };
+}
+
+/// Weighted choice among strategies with a common value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strat:expr),+ $(,)?) => {
+        $crate::Union::new_weighted(vec![
+            $(($weight, $crate::Strategy::boxed($strat))),+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::Union::new_weighted(vec![
+            $((1u32, $crate::Strategy::boxed($strat))),+
+        ])
+    };
+}
+
+pub mod prelude {
+    //! One-stop import, mirroring `proptest::prelude`.
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assume, prop_oneof, proptest, BoxedStrategy, Just,
+        ProptestConfig, Strategy, TestCaseError,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_respect_bounds(x in 3u64..10, y in 0.5f64..=1.5) {
+            prop_assert!((3..10).contains(&x));
+            prop_assert!((0.5..=1.5).contains(&y));
+        }
+
+        #[test]
+        fn vec_strategy_sizes(v in crate::collection::vec(0u32..5, 2..6usize)) {
+            prop_assert!(v.len() >= 2 && v.len() < 6);
+            prop_assert!(v.iter().all(|&x| x < 5));
+        }
+
+        #[test]
+        fn oneof_weights_cover_both_arms(x in prop_oneof![4 => (0.0f32..1.0).prop_map(|v| v), 1 => Just(f32::NEG_INFINITY)]) {
+            prop_assert!(x.is_finite() || x == f32::NEG_INFINITY);
+        }
+
+        #[test]
+        fn ascii_class_stays_in_class(s in "[ -~\n\t]{0,40}") {
+            prop_assert!(s.chars().all(|c| c == '\n' || c == '\t' || (' '..='~').contains(&c)));
+            prop_assert!(s.chars().count() <= 40);
+        }
+
+        #[test]
+        fn printable_unicode_has_no_controls(s in "\\PC{0,20}") {
+            prop_assert!(s.chars().all(|c| !c.is_control()));
+        }
+
+        #[test]
+        fn assume_rejects_without_failing(x in 0u32..10) {
+            prop_assume!(x < 9);
+            prop_assert!(x < 9);
+        }
+    }
+
+    #[test]
+    fn config_with_cases() {
+        assert_eq!(ProptestConfig::with_cases(64).cases, 64);
+        assert_eq!(ProptestConfig::default().cases, 256);
+    }
+
+    #[test]
+    fn deterministic_per_name_and_case() {
+        let mut a = crate::__rng_for_case("t", 0);
+        let mut b = crate::__rng_for_case("t", 0);
+        let s: String = Strategy::pick(&"[a-z]{8}", &mut a);
+        let s2: String = Strategy::pick(&"[a-z]{8}", &mut b);
+        assert_eq!(s, s2);
+    }
+}

@@ -1,0 +1,386 @@
+//! Workspace-local stand-in for the `rand` crate.
+//!
+//! Only the surface this workspace uses is provided: [`RngExt`] with
+//! `random`/`random_range`, and [`seq::SliceRandom`] with `shuffle` and
+//! `partial_shuffle`. Sampling algorithms follow upstream: the standard
+//! distribution takes the top 53 (f64) / 24 (f32) mantissa bits, bounded
+//! integers use Canon's widening-multiply method with one bias-correction
+//! sample (`u32` sampling for `usize` ranges that fit, for portability),
+//! and float ranges map a 52-bit `[1, 2)` draw affinely.
+
+pub use rand_core::{RngCore, SeedableRng};
+
+/// Types samplable from an unbounded uniform-bits source.
+pub trait StandardSample: Sized {
+    /// Draw one value.
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl StandardSample for u32 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u32()
+    }
+}
+
+impl StandardSample for u64 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl StandardSample for f32 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        // 24 random mantissa bits over [0, 1).
+        (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+impl StandardSample for f64 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        // 53 random mantissa bits over [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl StandardSample for bool {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        // Upstream: one bit from the top of a u32 draw.
+        (rng.next_u32() >> 31) == 1
+    }
+}
+
+/// Canon's method: one widening multiply plus at most one bias-correction
+/// draw. `range == 0` encodes the full 2^32 span.
+#[inline]
+fn canon_u32<R: RngCore + ?Sized>(rng: &mut R, low: u32, range: u32) -> u32 {
+    if range == 0 {
+        return rng.next_u32();
+    }
+    let m = (rng.next_u32() as u64) * (range as u64);
+    let mut result = (m >> 32) as u32;
+    let lo_order = m as u32;
+    if lo_order > range.wrapping_neg() {
+        let m2 = (rng.next_u32() as u64) * (range as u64);
+        let new_hi = (m2 >> 32) as u32;
+        result += lo_order.checked_add(new_hi).is_none() as u32;
+    }
+    low.wrapping_add(result)
+}
+
+#[inline]
+fn canon_u64<R: RngCore + ?Sized>(rng: &mut R, low: u64, range: u64) -> u64 {
+    if range == 0 {
+        return rng.next_u64();
+    }
+    let m = (rng.next_u64() as u128) * (range as u128);
+    let mut result = (m >> 64) as u64;
+    let lo_order = m as u64;
+    if lo_order > range.wrapping_neg() {
+        let m2 = (rng.next_u64() as u128) * (range as u128);
+        let new_hi = (m2 >> 64) as u64;
+        result += lo_order.checked_add(new_hi).is_none() as u64;
+    }
+    low.wrapping_add(result)
+}
+
+/// Sample `low..=high` over `usize`, using 32-bit draws when the bounds fit
+/// (upstream's portable `UniformUsize` behaviour).
+#[inline]
+fn sample_usize_inclusive<R: RngCore + ?Sized>(rng: &mut R, low: usize, high: usize) -> usize {
+    debug_assert!(low <= high);
+    if high <= u32::MAX as usize {
+        let range = (high as u32).wrapping_sub(low as u32).wrapping_add(1);
+        canon_u32(rng, low as u32, range) as usize
+    } else {
+        let range = (high as u64).wrapping_sub(low as u64).wrapping_add(1);
+        canon_u64(rng, low as u64, range) as usize
+    }
+}
+
+/// A range usable with [`RngExt::random_range`].
+pub trait SampleRange<T> {
+    /// Draw one value uniformly from the range.
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+macro_rules! int_range_32 {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for core::ops::Range<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "empty range");
+                let range = (self.end as u32).wrapping_sub(self.start as u32);
+                canon_u32(rng, self.start as u32, range) as $t
+            }
+        }
+        impl SampleRange<$t> for core::ops::RangeInclusive<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range");
+                let range = (hi as u32).wrapping_sub(lo as u32).wrapping_add(1);
+                canon_u32(rng, lo as u32, range) as $t
+            }
+        }
+    )*};
+}
+int_range_32!(u8, u16, u32);
+
+macro_rules! int_range_64 {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for core::ops::Range<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "empty range");
+                let range = (self.end as u64).wrapping_sub(self.start as u64);
+                canon_u64(rng, self.start as u64, range) as $t
+            }
+        }
+        impl SampleRange<$t> for core::ops::RangeInclusive<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range");
+                let range = (hi as u64).wrapping_sub(lo as u64).wrapping_add(1);
+                canon_u64(rng, lo as u64, range) as $t
+            }
+        }
+    )*};
+}
+int_range_64!(u64, i64);
+
+impl SampleRange<usize> for core::ops::Range<usize> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> usize {
+        assert!(self.start < self.end, "empty range");
+        sample_usize_inclusive(rng, self.start, self.end - 1)
+    }
+}
+
+impl SampleRange<usize> for core::ops::RangeInclusive<usize> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> usize {
+        assert!(self.start() <= self.end(), "empty range");
+        sample_usize_inclusive(rng, *self.start(), *self.end())
+    }
+}
+
+impl SampleRange<i32> for core::ops::Range<i32> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> i32 {
+        assert!(self.start < self.end, "empty range");
+        let range = (self.end as u32).wrapping_sub(self.start as u32);
+        canon_u32(rng, self.start as u32, range) as i32
+    }
+}
+
+impl SampleRange<i32> for core::ops::RangeInclusive<i32> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> i32 {
+        let (lo, hi) = (*self.start(), *self.end());
+        assert!(lo <= hi, "empty range");
+        let range = (hi as u32).wrapping_sub(lo as u32).wrapping_add(1);
+        canon_u32(rng, lo as u32, range) as i32
+    }
+}
+
+macro_rules! float_range {
+    ($($t:ty, $u:ty, $discard:expr, $exp_one:expr);*) => {$(
+        impl SampleRange<$t> for core::ops::Range<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (low, high) = (self.start, self.end);
+                assert!(low < high, "empty range");
+                let scale = high - low;
+                // Upstream loops on the (measure-zero) endpoint collision.
+                for _ in 0..16 {
+                    let bits = <$u as StandardSample>::sample(rng) >> $discard;
+                    let value1_2 = <$t>::from_bits(bits | $exp_one);
+                    let res = (value1_2 - 1.0) * scale + low;
+                    if res < high {
+                        return res;
+                    }
+                }
+                low
+            }
+        }
+        impl SampleRange<$t> for core::ops::RangeInclusive<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (low, high) = (*self.start(), *self.end());
+                assert!(low <= high, "empty range");
+                let scale = high - low;
+                let bits = <$u as StandardSample>::sample(rng) >> $discard;
+                let value1_2 = <$t>::from_bits(bits | $exp_one);
+                let res = (value1_2 - 1.0) * scale + low;
+                if res > high { high } else { res }
+            }
+        }
+    )*};
+}
+float_range!(
+    f32, u32, 9u32, 127u32 << 23;
+    f64, u64, 12u64, 1023u64 << 52
+);
+
+/// Convenience sampling methods over any [`RngCore`].
+pub trait RngExt: RngCore {
+    /// A value from the standard distribution of `T` (uniform bits for
+    /// integers, uniform `[0, 1)` for floats).
+    fn random<T: StandardSample>(&mut self) -> T {
+        T::sample(self)
+    }
+
+    /// A value uniform over `range`.
+    fn random_range<T, Rg: SampleRange<T>>(&mut self, range: Rg) -> T {
+        range.sample_single(self)
+    }
+
+    /// A biased coin flip.
+    fn random_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "p must be a probability");
+        self.random::<f64>() < p
+    }
+}
+
+impl<R: RngCore + ?Sized> RngExt for R {}
+
+/// Legacy alias: some call sites spell the extension trait `Rng`.
+pub use RngExt as Rng;
+
+pub mod seq {
+    //! Slice sampling/shuffling, mirroring upstream `rand::seq`.
+
+    use super::{sample_usize_inclusive, RngCore};
+
+    /// Shuffling extensions for slices.
+    pub trait SliceRandom {
+        /// Element type.
+        type Item;
+
+        /// Uniform Fisher–Yates shuffle.
+        fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R);
+
+        /// Shuffle a random `amount`-element subset into the *end* of the
+        /// slice (upstream semantics). Returns `(shuffled, rest)`.
+        fn partial_shuffle<R: RngCore + ?Sized>(
+            &mut self,
+            rng: &mut R,
+            amount: usize,
+        ) -> (&mut [Self::Item], &mut [Self::Item]);
+
+        /// A uniformly random element, if any.
+        fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&Self::Item>;
+    }
+
+    impl<T> SliceRandom for [T] {
+        type Item = T;
+
+        fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R) {
+            self.partial_shuffle(rng, self.len());
+        }
+
+        fn partial_shuffle<R: RngCore + ?Sized>(
+            &mut self,
+            rng: &mut R,
+            amount: usize,
+        ) -> (&mut [T], &mut [T]) {
+            let m = self.len().saturating_sub(amount);
+            // Durstenfeld backwards: locks element i in place per step.
+            for i in (m..self.len()).rev() {
+                if i > 0 {
+                    self.swap(i, sample_usize_inclusive(rng, 0, i));
+                }
+            }
+            let (rest, shuffled) = self.split_at_mut(m);
+            (shuffled, rest)
+        }
+
+        fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&T> {
+            if self.is_empty() {
+                None
+            } else {
+                Some(&self[sample_usize_inclusive(rng, 0, self.len() - 1)])
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::seq::SliceRandom;
+    use super::*;
+    use rand_chacha::ChaCha8Rng;
+
+    fn rng() -> ChaCha8Rng {
+        ChaCha8Rng::seed_from_u64(7)
+    }
+
+    #[test]
+    fn unit_floats_are_in_range() {
+        let mut r = rng();
+        for _ in 0..1000 {
+            let x: f64 = r.random();
+            assert!((0.0..1.0).contains(&x));
+            let y: f32 = r.random();
+            assert!((0.0..1.0).contains(&y));
+        }
+    }
+
+    #[test]
+    fn int_ranges_hit_all_values() {
+        let mut r = rng();
+        let mut seen = [false; 10];
+        for _ in 0..1000 {
+            seen[r.random_range(0usize..10)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn inclusive_int_range_includes_both_ends() {
+        let mut r = rng();
+        let mut lo_seen = false;
+        let mut hi_seen = false;
+        for _ in 0..500 {
+            match r.random_range(0usize..=3) {
+                0 => lo_seen = true,
+                3 => hi_seen = true,
+                1 | 2 => {}
+                _ => panic!("out of range"),
+            }
+        }
+        assert!(lo_seen && hi_seen);
+    }
+
+    #[test]
+    fn float_range_respects_bounds() {
+        let mut r = rng();
+        for _ in 0..1000 {
+            let x = r.random_range(-2.5f64..=3.5);
+            assert!((-2.5..=3.5).contains(&x));
+            let y = r.random_range(0.1f32..3.0);
+            assert!((0.1..3.0).contains(&y));
+        }
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut r = rng();
+        let mut v: Vec<usize> = (0..50).collect();
+        v.shuffle(&mut r);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        assert_ne!(v, (0..50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn partial_shuffle_returns_amount_elements() {
+        let mut r = rng();
+        let mut v: Vec<usize> = (0..20).collect();
+        let (shuffled, rest) = v.partial_shuffle(&mut r, 5);
+        assert_eq!(shuffled.len(), 5);
+        assert_eq!(rest.len(), 15);
+    }
+
+    #[test]
+    fn streams_are_deterministic_per_seed() {
+        let mut a = rng();
+        let mut b = rng();
+        for _ in 0..64 {
+            assert_eq!(a.random::<u64>(), b.random::<u64>());
+            assert_eq!(a.random_range(0usize..1000), b.random_range(0usize..1000));
+        }
+    }
+}

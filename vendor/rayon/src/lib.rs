@@ -1,0 +1,288 @@
+//! Workspace-local stand-in for the `rayon` crate.
+//!
+//! Presents rayon's parallel-iterator API over sequential `std` iterators so
+//! the workspace builds without network access. Every adapter preserves
+//! rayon's *semantics* (same elements, same results for order-insensitive
+//! reductions); only the execution is single-threaded. Call sites keep the
+//! `par_*` spellings, so swapping the real crate back in is a manifest edit.
+
+use std::iter;
+
+/// Wrapper marking an iterator as "parallel"; all adapters delegate to the
+/// wrapped sequential iterator.
+pub struct ParIter<I>(pub I);
+
+impl<I: Iterator> ParIter<I> {
+    /// Map each element.
+    pub fn map<U, F: FnMut(I::Item) -> U>(self, f: F) -> ParIter<iter::Map<I, F>> {
+        ParIter(self.0.map(f))
+    }
+
+    /// Keep elements matching a predicate.
+    pub fn filter<F: FnMut(&I::Item) -> bool>(self, f: F) -> ParIter<iter::Filter<I, F>> {
+        ParIter(self.0.filter(f))
+    }
+
+    /// Map and keep only `Some` results.
+    pub fn filter_map<U, F: FnMut(I::Item) -> Option<U>>(
+        self,
+        f: F,
+    ) -> ParIter<iter::FilterMap<I, F>> {
+        ParIter(self.0.filter_map(f))
+    }
+
+    /// Map each element to an iterable (including another [`ParIter`]) and
+    /// flatten.
+    pub fn flat_map<U: IntoIterator, F: FnMut(I::Item) -> U>(
+        self,
+        f: F,
+    ) -> ParIter<iter::FlatMap<I, U, F>> {
+        ParIter(self.0.flat_map(f))
+    }
+
+    /// Pair each element with its index.
+    pub fn enumerate(self) -> ParIter<iter::Enumerate<I>> {
+        ParIter(self.0.enumerate())
+    }
+
+    /// Consume with a side-effecting closure.
+    pub fn for_each<F: FnMut(I::Item)>(self, f: F) {
+        self.0.for_each(f)
+    }
+
+    /// Collect into any `FromIterator` container.
+    pub fn collect<C: FromIterator<I::Item>>(self) -> C {
+        self.0.collect()
+    }
+
+    /// Sum the elements.
+    pub fn sum<S: iter::Sum<I::Item>>(self) -> S {
+        self.0.sum()
+    }
+
+    /// Count the elements.
+    pub fn count(self) -> usize {
+        self.0.count()
+    }
+
+    /// Maximum under a comparator.
+    pub fn max_by<F: FnMut(&I::Item, &I::Item) -> std::cmp::Ordering>(
+        self,
+        f: F,
+    ) -> Option<I::Item> {
+        self.0.max_by(f)
+    }
+
+    /// Minimum under a comparator.
+    pub fn min_by<F: FnMut(&I::Item, &I::Item) -> std::cmp::Ordering>(
+        self,
+        f: F,
+    ) -> Option<I::Item> {
+        self.0.min_by(f)
+    }
+
+    /// Reduce with an identity constructor (rayon signature).
+    pub fn reduce<ID: Fn() -> I::Item, F: Fn(I::Item, I::Item) -> I::Item>(
+        self,
+        identity: ID,
+        op: F,
+    ) -> I::Item {
+        self.0.fold(identity(), op)
+    }
+
+    /// True if any element matches.
+    pub fn any<F: FnMut(I::Item) -> bool>(self, f: F) -> bool {
+        let mut it = self.0;
+        let mut f = f;
+        it.any(&mut f)
+    }
+
+    /// True if all elements match.
+    pub fn all<F: FnMut(I::Item) -> bool>(self, f: F) -> bool {
+        let mut it = self.0;
+        let mut f = f;
+        it.all(&mut f)
+    }
+
+    /// Hint adapter (no-op here): rayon's minimum split length.
+    pub fn with_min_len(self, _len: usize) -> Self {
+        self
+    }
+}
+
+impl<I: Iterator> IntoIterator for ParIter<I> {
+    type Item = I::Item;
+    type IntoIter = I;
+    fn into_iter(self) -> I {
+        self.0
+    }
+}
+
+/// Conversion into a "parallel" iterator by value.
+pub trait IntoParallelIterator {
+    /// Element type.
+    type Item;
+    /// Underlying sequential iterator.
+    type Iter: Iterator<Item = Self::Item>;
+    /// Convert.
+    fn into_par_iter(self) -> ParIter<Self::Iter>;
+}
+
+impl<T> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    type Iter = std::vec::IntoIter<T>;
+    fn into_par_iter(self) -> ParIter<Self::Iter> {
+        ParIter(self.into_iter())
+    }
+}
+
+impl<'a, T: Sync> IntoParallelIterator for &'a [T] {
+    type Item = &'a T;
+    type Iter = std::slice::Iter<'a, T>;
+    fn into_par_iter(self) -> ParIter<Self::Iter> {
+        ParIter(self.iter())
+    }
+}
+
+impl<'a, T: Sync> IntoParallelIterator for &'a Vec<T> {
+    type Item = &'a T;
+    type Iter = std::slice::Iter<'a, T>;
+    fn into_par_iter(self) -> ParIter<Self::Iter> {
+        ParIter(self.iter())
+    }
+}
+
+macro_rules! range_into_par {
+    ($($t:ty),*) => {$(
+        impl IntoParallelIterator for std::ops::Range<$t> {
+            type Item = $t;
+            type Iter = std::ops::Range<$t>;
+            fn into_par_iter(self) -> ParIter<Self::Iter> {
+                ParIter(self)
+            }
+        }
+    )*};
+}
+range_into_par!(usize, u32, u64, i32, i64);
+
+/// `.par_iter()` over a borrowed collection.
+pub trait IntoParallelRefIterator<'a> {
+    /// Element type.
+    type Item: 'a;
+    /// Underlying sequential iterator.
+    type Iter: Iterator<Item = Self::Item>;
+    /// Borrowing conversion.
+    fn par_iter(&'a self) -> ParIter<Self::Iter>;
+}
+
+impl<'a, T: 'a + Sync> IntoParallelRefIterator<'a> for [T] {
+    type Item = &'a T;
+    type Iter = std::slice::Iter<'a, T>;
+    fn par_iter(&'a self) -> ParIter<Self::Iter> {
+        ParIter(self.iter())
+    }
+}
+
+impl<'a, T: 'a + Sync> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = &'a T;
+    type Iter = std::slice::Iter<'a, T>;
+    fn par_iter(&'a self) -> ParIter<Self::Iter> {
+        ParIter(self.iter())
+    }
+}
+
+/// Chunked views of slices, as in rayon's `ParallelSlice*` traits.
+pub trait ParallelSliceMut<T> {
+    /// Mutable fixed-size chunks.
+    fn par_chunks_mut(&mut self, size: usize) -> ParIter<std::slice::ChunksMut<'_, T>>;
+}
+
+impl<T: Send> ParallelSliceMut<T> for [T] {
+    fn par_chunks_mut(&mut self, size: usize) -> ParIter<std::slice::ChunksMut<'_, T>> {
+        assert!(size > 0, "chunk size must be positive");
+        ParIter(self.chunks_mut(size))
+    }
+}
+
+/// Shared chunked views of slices.
+pub trait ParallelSlice<T> {
+    /// Immutable fixed-size chunks.
+    fn par_chunks(&self, size: usize) -> ParIter<std::slice::Chunks<'_, T>>;
+}
+
+impl<T: Sync> ParallelSlice<T> for [T] {
+    fn par_chunks(&self, size: usize) -> ParIter<std::slice::Chunks<'_, T>> {
+        assert!(size > 0, "chunk size must be positive");
+        ParIter(self.chunks(size))
+    }
+}
+
+/// Run two closures (sequentially here) and return both results.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA,
+    B: FnOnce() -> RB,
+{
+    (a(), b())
+}
+
+/// Number of "threads" in the pool. Sequential facade: always 1.
+pub fn current_num_threads() -> usize {
+    1
+}
+
+pub mod prelude {
+    //! One-stop import, mirroring `rayon::prelude`.
+    pub use crate::{
+        IntoParallelIterator, IntoParallelRefIterator, ParallelSlice, ParallelSliceMut,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_collect_matches_sequential() {
+        let v = vec![1, 2, 3, 4];
+        let doubled: Vec<i32> = v.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(doubled, vec![2, 4, 6, 8]);
+    }
+
+    #[test]
+    fn range_into_par_iter() {
+        let squares: Vec<usize> = (0..5usize).into_par_iter().map(|i| i * i).collect();
+        assert_eq!(squares, vec![0, 1, 4, 9, 16]);
+    }
+
+    #[test]
+    fn nested_flat_map_flattens() {
+        let outer = vec![1usize, 2];
+        let inner = vec![10usize, 20];
+        let all: Vec<usize> = outer
+            .par_iter()
+            .flat_map(|&a| inner.par_iter().map(move |&b| a * b))
+            .collect();
+        assert_eq!(all, vec![10, 20, 20, 40]);
+    }
+
+    #[test]
+    fn chunks_mut_writes_through() {
+        let mut buf = vec![0f32; 6];
+        buf.par_chunks_mut(2).enumerate().for_each(|(i, c)| {
+            for x in c {
+                *x = i as f32;
+            }
+        });
+        assert_eq!(buf, vec![0.0, 0.0, 1.0, 1.0, 2.0, 2.0]);
+    }
+
+    #[test]
+    fn max_by_and_sum_work() {
+        let v = vec![(0usize, 1.5f64), (1, 3.5), (2, 2.0)];
+        let best = v.par_iter().max_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
+        assert_eq!(best.unwrap().0, 1);
+        let s: f64 = v.par_iter().map(|&(_, x)| x).sum();
+        assert!((s - 7.0).abs() < 1e-12);
+    }
+}
