@@ -49,7 +49,7 @@ fn bench_prompt_build(c: &mut Criterion) {
 
 fn bench_induction_logits(c: &mut Criterion) {
     let ds = dataset();
-    let model = InductionLm::paper(0);
+    let model = std::sync::Arc::new(InductionLm::paper(0));
     let builder = PromptBuilder::new(ds.space().clone(), ds.size());
     let mut g = c.benchmark_group("induction_logits");
     for n in [5usize, 20, 100] {
@@ -64,38 +64,40 @@ fn bench_induction_logits(c: &mut Criterion) {
 
 fn bench_generation(c: &mut Criterion) {
     let ds = dataset();
-    let model = InductionLm::paper(0);
+    let model = std::sync::Arc::new(InductionLm::paper(0));
     let builder = PromptBuilder::new(ds.space().clone(), ds.size());
     let sets = icl_replicas(&ds, 20, 1, 1);
     let ids = builder.for_icl_set(&sets[0]).to_tokens(model.tokenizer());
     let t = model.tokenizer();
-    let spec = GenerateSpec {
-        sampler: Sampler::paper(),
-        max_tokens: 24,
-        stop_tokens: vec![t.vocab().token_id("\n").unwrap(), t.special(EOS)],
-        trace_min_prob: 1e-3,
-        seed: 0,
-    };
+    let spec = GenerateSpec::builder()
+        .sampler(Sampler::paper())
+        .max_tokens(24)
+        .stop_tokens(vec![t.vocab().token_id("\n").unwrap(), t.special(EOS)])
+        .trace_min_prob(1e-3)
+        .seed(0)
+        .build()
+        .unwrap();
     c.bench_function("generate_runtime_prediction_20_icl", |b| {
-        b.iter(|| black_box(generate(&model, black_box(&ids), &spec)))
+        b.iter(|| black_box(generate(&model, black_box(&ids), &spec).unwrap()))
     });
 }
 
 fn bench_decoding_analysis(c: &mut Criterion) {
     let ds = dataset();
-    let model = InductionLm::paper(0);
+    let model = std::sync::Arc::new(InductionLm::paper(0));
     let builder = PromptBuilder::new(ds.space().clone(), ds.size());
     let sets = icl_replicas(&ds, 20, 1, 1);
     let t = model.tokenizer();
     let ids = builder.for_icl_set(&sets[0]).to_tokens(t);
-    let spec = GenerateSpec {
-        sampler: Sampler::paper(),
-        max_tokens: 24,
-        stop_tokens: vec![t.vocab().token_id("\n").unwrap(), t.special(EOS)],
-        trace_min_prob: 1e-3,
-        seed: 0,
-    };
-    let trace = generate(&model, &ids, &spec);
+    let spec = GenerateSpec::builder()
+        .sampler(Sampler::paper())
+        .max_tokens(24)
+        .stop_tokens(vec![t.vocab().token_id("\n").unwrap(), t.special(EOS)])
+        .trace_min_prob(1e-3)
+        .seed(0)
+        .build()
+        .unwrap();
+    let trace = generate(&model, &ids, &spec).unwrap();
     let span = value_span(&trace, t).expect("value");
     c.bench_function("value_distribution_20k_budget", |b| {
         b.iter(|| {

@@ -39,7 +39,10 @@ fn bench_gbdt(c: &mut Criterion) {
                 black_box(Gbdt::fit(
                     black_box(xs),
                     black_box(ys),
-                    GbdtParams { n_estimators: 100, ..Default::default() },
+                    GbdtParams {
+                        n_estimators: 100,
+                        ..Default::default()
+                    },
                     0,
                 ))
             })
@@ -89,15 +92,16 @@ fn bench_transformer(c: &mut Criterion) {
 /// KV-cache path is supposed to collapse from O(T²) to O(T) per token.
 fn bench_decode_sessions(c: &mut Criterion) {
     const GEN_TOKENS: usize = 16;
-    let spec = GenerateSpec {
-        sampler: Sampler::greedy(),
-        max_tokens: GEN_TOKENS,
-        stop_tokens: vec![],
-        trace_min_prob: 1.0,
-        seed: 0,
-    };
-    let transformer = InductionTransformer::paper();
-    let induction = InductionLm::paper(0);
+    let spec = GenerateSpec::builder()
+        .sampler(Sampler::greedy())
+        .max_tokens(GEN_TOKENS)
+        .stop_tokens(vec![])
+        .trace_min_prob(1.0)
+        .seed(0)
+        .build()
+        .unwrap();
+    let transformer = std::sync::Arc::new(InductionTransformer::paper());
+    let induction = std::sync::Arc::new(InductionLm::paper(0));
     let context_for = |model: &dyn LanguageModel, len: usize| {
         let text = "Hyperparameter configuration: outer tile is 16, inner tile is 32\n\
                     Performance: 0.0023117\n"
@@ -111,26 +115,26 @@ fn bench_decode_sessions(c: &mut Criterion) {
         let mut g = c.benchmark_group(mode);
         g.sample_size(10);
         for len in [64usize, 256, 1024] {
-            let ids = context_for(&transformer, len);
-            let mut base: Box<dyn DecodeSession + '_> = if incremental {
-                transformer.session()
+            let ids = context_for(transformer.as_ref(), len);
+            let mut base: Box<dyn DecodeSession> = if incremental {
+                transformer.clone().session()
             } else {
-                Box::new(FallbackSession::new(&transformer))
+                Box::new(FallbackSession::new(transformer.clone()))
             };
             base.extend(&ids);
             g.bench_with_input(BenchmarkId::new("transformer", len), &(), |b, ()| {
-                b.iter(|| black_box(generate_session(&mut *base.fork(), &spec)))
+                b.iter(|| black_box(generate_session(&mut *base.fork(), &spec).unwrap()))
             });
 
-            let ids = context_for(&induction, len);
-            let mut base: Box<dyn DecodeSession + '_> = if incremental {
-                induction.session()
+            let ids = context_for(induction.as_ref(), len);
+            let mut base: Box<dyn DecodeSession> = if incremental {
+                induction.clone().session()
             } else {
-                Box::new(FallbackSession::new(&induction))
+                Box::new(FallbackSession::new(induction.clone()))
             };
             base.extend(&ids);
             g.bench_with_input(BenchmarkId::new("induction_lm", len), &(), |b, ()| {
-                b.iter(|| black_box(generate_session(&mut *base.fork(), &spec)))
+                b.iter(|| black_box(generate_session(&mut *base.fork(), &spec).unwrap()))
             });
         }
         g.finish();

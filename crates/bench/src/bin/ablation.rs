@@ -30,16 +30,39 @@ fn main() {
     let plan = ExperimentPlan::paper();
     let variants: Vec<Variant> = vec![
         ("full model", Box::new(InductionConfig::default)),
-        ("- similarity", Box::new(|| InductionConfig::default().without_similarity())),
-        ("- prior", Box::new(|| InductionConfig::default().without_prior())),
-        ("- smear", Box::new(|| InductionConfig::default().without_smear())),
-        ("- drift", Box::new(|| InductionConfig::default().without_drift())),
-        ("- jitter", Box::new(|| InductionConfig::default().without_jitter())),
+        (
+            "- similarity",
+            Box::new(|| InductionConfig::default().without_similarity()),
+        ),
+        (
+            "- prior",
+            Box::new(|| InductionConfig::default().without_prior()),
+        ),
+        (
+            "- smear",
+            Box::new(|| InductionConfig::default().without_smear()),
+        ),
+        (
+            "- drift",
+            Box::new(|| InductionConfig::default().without_drift()),
+        ),
+        (
+            "- jitter",
+            Box::new(|| InductionConfig::default().without_jitter()),
+        ),
     ];
 
-    println!("Ablation study over the full {}-generation grid\n", plan.num_tasks());
+    println!(
+        "Ablation study over the full {}-generation grid\n",
+        plan.num_tasks()
+    );
     let mut table = TextTable::new(vec![
-        "variant", "best R2", "mean R2", "MARE", "copies", "extracted",
+        "variant",
+        "best R2",
+        "mean R2",
+        "MARE",
+        "copies",
+        "extracted",
     ]);
     for (name, cfg) in &variants {
         let config = cfg();

@@ -23,7 +23,10 @@ fn importance(bundle: &DatasetBundle, size: ArraySize) -> Vec<f64> {
         GbdtParams {
             n_estimators: 200,
             learning_rate: 0.1,
-            tree: TreeParams { max_depth: 10, ..Default::default() },
+            tree: TreeParams {
+                max_depth: 10,
+                ..Default::default()
+            },
             ..Default::default()
         },
         0,

@@ -42,19 +42,17 @@ fn main() {
             *prefix_icl.entry(prefix3(r)).or_insert(0) += 1;
         }
         for seed in 0..3u64 {
-            let model = InductionLm::paper(seed);
+            let model = std::sync::Arc::new(InductionLm::paper(seed));
             let ids = builder.for_icl_set(set).to_tokens(model.tokenizer());
-            let gspec = GenerateSpec {
-                sampler: Sampler::paper(),
-                max_tokens: 24,
-                stop_tokens: vec![
-                    tok.vocab().token_id("\n").unwrap(),
-                    tok.special(EOS),
-                ],
-                trace_min_prob: 1e-4,
-                seed,
-            };
-            let trace = generate(&model, &ids, &gspec);
+            let gspec = GenerateSpec::builder()
+                .sampler(Sampler::paper())
+                .max_tokens(24)
+                .stop_tokens(vec![tok.vocab().token_id("\n").unwrap(), tok.special(EOS)])
+                .trace_min_prob(1e-4)
+                .seed(seed)
+                .build()
+                .unwrap();
+            let trace = generate(&model, &ids, &gspec).unwrap();
             if let Some(span) = value_span(&trace, &tok) {
                 let dist = value_distribution(&trace, span, &tok, 20_000, seed);
                 for &(v, w) in &dist.candidates {
@@ -91,8 +89,8 @@ fn main() {
     let mut covered = 0.0;
     println!("top ICL value prefixes vs. generated probability mass:");
     for (prefix, count) in ranked.iter().take(5) {
-        let mass = prefix_gen.get(*prefix).copied().unwrap_or(0.0)
-            / prefix_gen.values().sum::<f64>();
+        let mass =
+            prefix_gen.get(*prefix).copied().unwrap_or(0.0) / prefix_gen.values().sum::<f64>();
         covered += mass;
         println!(
             "  {prefix}xx : {:5.1}% of ICL examples, {:5.1}% of generated mass",

@@ -43,20 +43,20 @@ fn main() {
 
     let mut per_seed: Vec<SeedSeries> = Vec::new();
     for seed in 0..3u64 {
-        let model = InductionLm::paper(seed);
+        let model = std::sync::Arc::new(InductionLm::paper(seed));
         let ids = prompt.to_tokens(model.tokenizer());
-        let gspec = GenerateSpec {
-            sampler: Sampler::paper(),
-            max_tokens: 24,
-            stop_tokens: vec![tok.vocab().token_id("\n").unwrap(), tok.special(EOS)],
-            trace_min_prob: 1e-4,
-            seed,
-        };
-        let trace = generate(&model, &ids, &gspec);
+        let gspec = GenerateSpec::builder()
+            .sampler(Sampler::paper())
+            .max_tokens(24)
+            .stop_tokens(vec![tok.vocab().token_id("\n").unwrap(), tok.special(EOS)])
+            .trace_min_prob(1e-4)
+            .seed(seed)
+            .build()
+            .unwrap();
+        let trace = generate(&model, &ids, &gspec).unwrap();
         let span = value_span(&trace, &tok).expect("value generated");
         let first = &trace.steps[span.start];
-        let firsts: Vec<(u32, f32)> =
-            first.alternatives.iter().map(|a| (a.id, a.prob)).collect();
+        let firsts: Vec<(u32, f32)> = first.alternatives.iter().map(|a| (a.id, a.prob)).collect();
         let dist = value_distribution(&trace, span, &tok, 20_000, seed);
         let mut h = Histogram::new(spec_hist);
         for &(v, w) in &dist.candidates {
@@ -93,7 +93,9 @@ fn main() {
     // Paper claim: identical token sets across seeds, trivially different
     // probabilities.
     let ids_of = |fs: &Vec<(u32, f32)>| {
-        fs.iter().map(|&(id, _)| id).collect::<std::collections::HashSet<_>>()
+        fs.iter()
+            .map(|&(id, _)| id)
+            .collect::<std::collections::HashSet<_>>()
     };
     let mut min_jaccard = 1.0f64;
     let mut max_prob_diff = 0.0f32;

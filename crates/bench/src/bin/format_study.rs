@@ -28,7 +28,12 @@ fn main() {
 
     println!("Section V-B format study: decimal vs scientific value rendering\n");
     let mut table = TextTable::new(vec![
-        "size", "icl", "format", "MARE", "copied-prefix", "extracted",
+        "size",
+        "icl",
+        "format",
+        "MARE",
+        "copied-prefix",
+        "extracted",
     ]);
 
     for size in [ArraySize::SM, ArraySize::XL] {
@@ -36,8 +41,7 @@ fn main() {
         for &count in &counts {
             let sets = icl_replicas(dataset, count, replicas, 3);
             for format in [ValueFormat::Decimal, ValueFormat::Scientific] {
-                let builder = PromptBuilder::new(dataset.space().clone(), size)
-                    .with_format(format);
+                let builder = PromptBuilder::new(dataset.space().clone(), size).with_format(format);
                 let mut err = Welford::new();
                 let mut extracted = 0usize;
                 let mut total = 0usize;
@@ -46,20 +50,21 @@ fn main() {
                     let prompt = builder.for_icl_set(set);
                     for &seed in &seeds {
                         total += 1;
-                        let model = InductionLm::paper(seed);
+                        let model = std::sync::Arc::new(InductionLm::paper(seed));
                         let tok = model.tokenizer();
                         let ids = prompt.to_tokens(tok);
-                        let spec = GenerateSpec {
-                            sampler: Sampler::paper(),
-                            max_tokens: 24,
-                            stop_tokens: vec![
+                        let spec = GenerateSpec::builder()
+                            .sampler(Sampler::paper())
+                            .max_tokens(24)
+                            .stop_tokens(vec![
                                 tok.vocab().token_id("\n").unwrap(),
                                 tok.special(EOS),
-                            ],
-                            trace_min_prob: 1e-3,
-                            seed,
-                        };
-                        let trace = generate(&model, &ids, &spec);
+                            ])
+                            .trace_min_prob(1e-3)
+                            .seed(seed)
+                            .build()
+                            .unwrap();
+                        let trace = generate(&model, &ids, &spec).unwrap();
                         let text = trace.decode(tok);
                         if let Some((v, _)) = extract_value(&text) {
                             extracted += 1;

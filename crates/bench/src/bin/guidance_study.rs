@@ -12,8 +12,7 @@ use lmpeel_configspace::ArraySize;
 use lmpeel_core::extract::{extract_value, Extraction};
 use lmpeel_core::prompt::PromptBuilder;
 use lmpeel_lm::{
-    generate, generate_constrained, GenerateSpec, InductionLm, LanguageModel, Sampler,
-    ValueGrammar,
+    generate, generate_constrained, GenerateSpec, InductionLm, LanguageModel, Sampler, ValueGrammar,
 };
 use lmpeel_perfdata::{icl_replicas, DatasetBundle};
 use lmpeel_stats::{relative_error, Welford};
@@ -27,7 +26,12 @@ fn main() {
 
     println!("Section V-B mitigation study: plain vs grammar-constrained decoding\n");
     let mut table = TextTable::new(vec![
-        "size", "icl", "decoding", "MARE", "wellformed", "clean-direct",
+        "size",
+        "icl",
+        "decoding",
+        "MARE",
+        "wellformed",
+        "clean-direct",
     ]);
     for size in [ArraySize::SM, ArraySize::XL] {
         let dataset = bundle.for_size(size);
@@ -43,23 +47,23 @@ fn main() {
                     let prompt = builder.for_icl_set(set);
                     for &seed in &seeds {
                         total += 1;
-                        let model = InductionLm::paper(seed);
+                        let model = std::sync::Arc::new(InductionLm::paper(seed));
                         let tok = model.tokenizer();
                         let ids = prompt.to_tokens(tok);
-                        let stops =
-                            vec![tok.vocab().token_id("\n").unwrap(), tok.special(EOS)];
-                        let spec = GenerateSpec {
-                            sampler: Sampler::paper(),
-                            max_tokens: 24,
-                            stop_tokens: stops.clone(),
-                            trace_min_prob: 1e-3,
-                            seed,
-                        };
+                        let stops = vec![tok.vocab().token_id("\n").unwrap(), tok.special(EOS)];
+                        let spec = GenerateSpec::builder()
+                            .sampler(Sampler::paper())
+                            .max_tokens(24)
+                            .stop_tokens(stops.clone())
+                            .trace_min_prob(1e-3)
+                            .seed(seed)
+                            .build()
+                            .unwrap();
                         let trace = if constrained {
                             let grammar = ValueGrammar::paper(stops);
-                            generate_constrained(&model, &ids, &spec, &grammar)
+                            generate_constrained(&model, &ids, &spec, &grammar).unwrap()
                         } else {
-                            generate(&model, &ids, &spec)
+                            generate(&model, &ids, &spec).unwrap()
                         };
                         let text = trace.decode(tok);
                         if text.trim().parse::<f64>().is_ok() {

@@ -7,21 +7,27 @@
 
 use lmpeel_bench::TextTable;
 use lmpeel_configspace::ArraySize;
-use lmpeel_core::llambo::{
-    evaluate_classification, propose_candidate, RuntimeBuckets,
-};
+use lmpeel_core::llambo::{evaluate_classification, propose_candidate, RuntimeBuckets};
 use lmpeel_lm::InductionLm;
 use lmpeel_perfdata::DatasetBundle;
 use lmpeel_stats::{relative_error, seeded_rng, SeedDomain, Welford};
 
 fn main() {
     let bundle = DatasetBundle::paper();
-    let model = InductionLm::paper(0);
+    let model = std::sync::Arc::new(InductionLm::paper(0));
 
     // --- Generative surrogate: quantile-bucket classification ---
-    println!("LLAMBO generative surrogate: {}-class runtime classification\n", 5);
+    println!(
+        "LLAMBO generative surrogate: {}-class runtime classification\n",
+        5
+    );
     let mut table = TextTable::new(vec![
-        "size", "icl", "accuracy", "chance", "mean class dist", "valid",
+        "size",
+        "icl",
+        "accuracy",
+        "chance",
+        "mean class dist",
+        "valid",
     ]);
     for size in [ArraySize::SM, ArraySize::XL] {
         let ds = bundle.for_size(size);
@@ -43,7 +49,10 @@ fn main() {
     // --- Candidate sampling: configurations for target performances ---
     println!("LLAMBO candidate sampling: propose a configuration for a target runtime\n");
     let mut table = TextTable::new(vec![
-        "size", "parse rate", "MARE(achieved vs target)", "vs random config",
+        "size",
+        "parse rate",
+        "MARE(achieved vs target)",
+        "vs random config",
     ]);
     for size in [ArraySize::SM, ArraySize::XL] {
         let ds = bundle.for_size(size);
@@ -64,9 +73,7 @@ fn main() {
                 .iter()
                 .map(|&(_, r)| r)
                 .fold(f64::INFINITY, f64::min);
-            if let Some(cfg) =
-                propose_candidate(&model, space, size, &examples, target, t as u64)
-            {
+            if let Some(cfg) = propose_candidate(&model, space, size, &examples, target, t as u64) {
                 parsed += 1;
                 err.push(relative_error(ds.runtime_of(&cfg), target).min(1e3));
             }

@@ -43,7 +43,12 @@ fn main() {
     let mut t = TextTable::new(vec!["predictor", "<=50% err", "<=10% err", "<=1% err"]);
     let row = |t: &mut TextTable, name: &str, r: NeedleReport| {
         let cells = fmt(r);
-        t.row(vec![name.to_string(), cells[0].clone(), cells[1].clone(), cells[2].clone()]);
+        t.row(vec![
+            name.to_string(),
+            cells[0].clone(),
+            cells[1].clone(),
+            cells[2].clone(),
+        ]);
     };
     row(&mut t, "LLM sampled values", llm.sampled);
     row(&mut t, "LLM generable mass", llm.mass);

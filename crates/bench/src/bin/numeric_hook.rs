@@ -26,7 +26,12 @@ fn main() {
 
     println!("Section V-D evaluation: plain LLM vs numeric-hook hybrid\n");
     let mut table = TextTable::new(vec![
-        "size", "icl", "plain MARE", "hybrid MARE", "plain R2", "hybrid R2",
+        "size",
+        "icl",
+        "plain MARE",
+        "hybrid MARE",
+        "plain R2",
+        "hybrid R2",
     ]);
     for size in [ArraySize::SM, ArraySize::XL] {
         let dataset = bundle.for_size(size);
@@ -39,20 +44,21 @@ fn main() {
                     seeds
                         .par_iter()
                         .map(|&seed| {
-                            let model = InductionLm::paper(seed);
+                            let model = std::sync::Arc::new(InductionLm::paper(seed));
                             let tok = model.tokenizer();
                             let ids = builder.for_icl_set(set).to_tokens(tok);
-                            let spec = GenerateSpec {
-                                sampler: Sampler::paper(),
-                                max_tokens: 24,
-                                stop_tokens: vec![
+                            let spec = GenerateSpec::builder()
+                                .sampler(Sampler::paper())
+                                .max_tokens(24)
+                                .stop_tokens(vec![
                                     tok.vocab().token_id("\n").unwrap(),
                                     tok.special(EOS),
-                                ],
-                                trace_min_prob: 1e-3,
-                                seed,
-                            };
-                            let trace = generate(&model, &ids, &spec);
+                                ])
+                                .trace_min_prob(1e-3)
+                                .seed(seed)
+                                .build()
+                                .unwrap();
+                            let trace = generate(&model, &ids, &spec).unwrap();
                             let plain = extract_value(&trace.decode(tok))
                                 .map(|(v, _)| v)
                                 .unwrap_or(0.0);

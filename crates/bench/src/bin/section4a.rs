@@ -16,7 +16,11 @@ fn main() {
     let t0 = std::time::Instant::now();
     let bundle = DatasetBundle::paper();
     let records = paper_records(&bundle);
-    eprintln!("ran {} generations in {:.1}s", records.len(), t0.elapsed().as_secs_f64());
+    eprintln!(
+        "ran {} generations in {:.1}s",
+        records.len(),
+        t0.elapsed().as_secs_f64()
+    );
     let settings = setting_reports(&records);
     let overall = overall_report(&records, &settings);
 

@@ -44,12 +44,22 @@ fn main() {
                     None
                 } else {
                     let split = (lo + hi) / 2.0;
-                    let mass_lo: f64 =
-                        top.iter().filter(|&&(v, _)| v < split).map(|&(_, w)| w).sum();
-                    let mass_hi: f64 =
-                        top.iter().filter(|&&(v, _)| v >= split).map(|&(_, w)| w).sum();
+                    let mass_lo: f64 = top
+                        .iter()
+                        .filter(|&&(v, _)| v < split)
+                        .map(|&(_, w)| w)
+                        .sum();
+                    let mass_hi: f64 = top
+                        .iter()
+                        .filter(|&&(v, _)| v >= split)
+                        .map(|&(_, w)| w)
+                        .sum();
                     let truth_low = r.truth < split;
-                    Some(if truth_low { mass_lo > mass_hi } else { mass_hi > mass_lo })
+                    Some(if truth_low {
+                        mass_lo > mass_hi
+                    } else {
+                        mass_hi > mass_lo
+                    })
                 }
             };
             Some(Row {
@@ -91,11 +101,23 @@ fn main() {
     println!("Section IV-C reproduction: central decodes vs. sampled values\n");
     let mut t = TextTable::new(vec!["decode strategy", "MARE", "std"]);
     let s = sampled.finish();
-    t.row(vec!["sampled (as generated)".into(), format!("{:.4}", s.mean), format!("{:.4}", s.std_dev)]);
+    t.row(vec![
+        "sampled (as generated)".into(),
+        format!("{:.4}", s.mean),
+        format!("{:.4}", s.std_dev),
+    ]);
     let m = mean_dec.finish();
-    t.row(vec!["distribution mean".into(), format!("{:.4}", m.mean), format!("{:.4}", m.std_dev)]);
+    t.row(vec![
+        "distribution mean".into(),
+        format!("{:.4}", m.mean),
+        format!("{:.4}", m.std_dev),
+    ]);
     let md = median_dec.finish();
-    t.row(vec!["distribution median".into(), format!("{:.4}", md.mean), format!("{:.4}", md.std_dev)]);
+    t.row(vec![
+        "distribution median".into(),
+        format!("{:.4}", md.mean),
+        format!("{:.4}", md.std_dev),
+    ]);
     println!("{}", t.render());
 
     println!(

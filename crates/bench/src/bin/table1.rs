@@ -15,7 +15,14 @@ fn main() {
     let bundle = DatasetBundle::paper();
     println!("Table I reproduction: XGBoost prediction metrics ({iters} search iterations)\n");
     let mut table = TextTable::new(vec![
-        "train", "size", "R2", "R2(paper)", "MARE", "MARE(paper)", "MSRE", "MSRE(paper)",
+        "train",
+        "size",
+        "R2",
+        "R2(paper)",
+        "MARE",
+        "MARE(paper)",
+        "MSRE",
+        "MSRE(paper)",
     ]);
     for &(n_train, size, p_r2, p_mare, p_msre) in &TABLE1_PAPER {
         let dataset = bundle.for_size(size);

@@ -26,12 +26,20 @@ fn main() {
     let records = paper_records(&bundle);
     let tok = Tokenizer::paper();
     let table = TokenStatsTable::aggregate(
-        records.iter().map(|r| (&r.trace, value_span(&r.trace, &tok))),
+        records
+            .iter()
+            .map(|r| (&r.trace, value_span(&r.trace, &tok))),
     );
 
     println!("Table II reproduction: selectable tokens per value position\n");
     let mut out = TextTable::new(vec![
-        "position", "mean", "mean(paper)", "std", "std(paper)", "samples", "samples(paper)",
+        "position",
+        "mean",
+        "mean(paper)",
+        "std",
+        "std(paper)",
+        "samples",
+        "samples(paper)",
     ]);
     for (i, row) in table.rows.iter().enumerate() {
         let paper = PAPER.get(i);

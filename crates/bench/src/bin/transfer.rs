@@ -26,7 +26,11 @@ fn main() {
 
     println!("Cross-size transfer study (20 ICL examples)\n");
     let mut table = TextTable::new(vec![
-        "examples", "query", "MARE", "median rel err", "magnitude hits",
+        "examples",
+        "query",
+        "MARE",
+        "median rel err",
+        "magnitude hits",
     ]);
     for (ex_size, q_size) in [
         (ArraySize::SM, ArraySize::SM),
@@ -46,24 +50,21 @@ fn main() {
         let mut magnitude_hits = 0usize;
         let mut total = 0usize;
         for (ex_set, q_set) in ex_sets.iter().zip(&q_sets) {
-            let prompt =
-                builder.discriminative_transfer(&ex_set.examples, ex_size, &q_set.query);
+            let prompt = builder.discriminative_transfer(&ex_set.examples, ex_size, &q_set.query);
             for &seed in &seeds {
                 total += 1;
-                let model = InductionLm::paper(seed);
+                let model = std::sync::Arc::new(InductionLm::paper(seed));
                 let tok = model.tokenizer();
                 let ids = prompt.to_tokens(tok);
-                let spec = GenerateSpec {
-                    sampler: Sampler::paper(),
-                    max_tokens: 24,
-                    stop_tokens: vec![
-                        tok.vocab().token_id("\n").unwrap(),
-                        tok.special(EOS),
-                    ],
-                    trace_min_prob: 1e-3,
-                    seed,
-                };
-                let trace = generate(&model, &ids, &spec);
+                let spec = GenerateSpec::builder()
+                    .sampler(Sampler::paper())
+                    .max_tokens(24)
+                    .stop_tokens(vec![tok.vocab().token_id("\n").unwrap(), tok.special(EOS)])
+                    .trace_min_prob(1e-3)
+                    .seed(seed)
+                    .build()
+                    .unwrap();
+                let trace = generate(&model, &ids, &spec).unwrap();
                 if let Some((v, _)) = extract_value(&trace.decode(tok)) {
                     let rel = relative_error(v, q_set.truth);
                     err.push(rel.min(1e4));

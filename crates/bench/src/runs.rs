@@ -31,7 +31,10 @@ pub fn table1_fit(
         &ys[..cut],
         &xs[cut..],
         &ys[cut..],
-        SearchSpace { n_estimators: (50, 400), ..Default::default() },
+        SearchSpace {
+            n_estimators: (50, 400),
+            ..Default::default()
+        },
         search_iters,
         7,
     );

@@ -10,7 +10,10 @@ pub struct TextTable {
 impl TextTable {
     /// Start a table with column headers.
     pub fn new<S: Into<String>>(header: Vec<S>) -> Self {
-        Self { header: header.into_iter().map(Into::into).collect(), rows: vec![] }
+        Self {
+            header: header.into_iter().map(Into::into).collect(),
+            rows: vec![],
+        }
     }
 
     /// Append a row (must match the header arity).

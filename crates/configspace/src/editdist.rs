@@ -39,7 +39,11 @@ pub fn edit_distance(a: &Config, b: &Config) -> usize {
 /// `space`.
 pub fn ordinal_distance(space: &ConfigSpace, a: &Config, b: &Config) -> f64 {
     assert_eq!(a.len(), b.len(), "configuration arity mismatch");
-    assert_eq!(a.len(), space.num_params(), "configuration does not match space");
+    assert_eq!(
+        a.len(),
+        space.num_params(),
+        "configuration does not match space"
+    );
     space
         .params()
         .iter()
@@ -73,7 +77,11 @@ pub fn curated_neighborhood(space: &ConfigSpace, center: &Config, n: usize) -> V
         if &c == center {
             continue;
         }
-        scored.push((edit_distance(center, &c), ordinal_distance(space, center, &c), idx));
+        scored.push((
+            edit_distance(center, &c),
+            ordinal_distance(space, center, &c),
+            idx,
+        ));
     }
     scored.sort_by(|a, b| {
         a.0.cmp(&b.0)
@@ -165,7 +173,10 @@ mod tests {
         assert_eq!(hood.len(), 5);
         assert!(!hood.contains(&center));
         let dists: Vec<usize> = hood.iter().map(|c| edit_distance(&center, c)).collect();
-        assert!(dists.windows(2).all(|w| w[0] <= w[1]), "sorted by distance: {dists:?}");
+        assert!(
+            dists.windows(2).all(|w| w[0] <= w[1]),
+            "sorted by distance: {dists:?}"
+        );
     }
 
     #[test]

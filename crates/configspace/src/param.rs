@@ -32,7 +32,9 @@ pub enum ParamDef {
 impl ParamDef {
     /// Convenience constructor for a boolean parameter.
     pub fn boolean(name: &str) -> Self {
-        ParamDef::Bool { name: name.to_string() }
+        ParamDef::Bool {
+            name: name.to_string(),
+        }
     }
 
     /// Convenience constructor for an ordinal parameter.
@@ -45,7 +47,10 @@ impl ParamDef {
             choices.windows(2).all(|w| w[0] < w[1]),
             "ordinal choices must be strictly ascending"
         );
-        ParamDef::Ordinal { name: name.to_string(), choices: choices.to_vec() }
+        ParamDef::Ordinal {
+            name: name.to_string(),
+            choices: choices.to_vec(),
+        }
     }
 
     /// Convenience constructor for a categorical parameter.
@@ -83,7 +88,11 @@ impl ParamDef {
     /// # Panics
     /// Panics if `idx` is out of range.
     pub fn value_of(&self, idx: usize) -> ParamValue {
-        assert!(idx < self.cardinality(), "choice index {idx} out of range for {}", self.name());
+        assert!(
+            idx < self.cardinality(),
+            "choice index {idx} out of range for {}",
+            self.name()
+        );
         match self {
             ParamDef::Bool { .. } => ParamValue::Bool(idx == 1),
             ParamDef::Ordinal { choices, .. } => ParamValue::Int(choices[idx]),

@@ -61,7 +61,10 @@ impl ConfigSpace {
     /// # Panics
     /// Panics if `index >= cardinality()`.
     pub fn config_at(&self, index: u64) -> Config {
-        assert!(index < self.cardinality(), "config index {index} out of range");
+        assert!(
+            index < self.cardinality(),
+            "config index {index} out of range"
+        );
         let mut rem = index;
         let mut choices = vec![0u16; self.params.len()];
         for (i, p) in self.params.iter().enumerate().rev() {
@@ -78,7 +81,11 @@ impl ConfigSpace {
     /// Panics if the configuration's arity or any choice index is
     /// incompatible with this space.
     pub fn index_of(&self, config: &Config) -> u64 {
-        assert_eq!(config.len(), self.params.len(), "configuration arity mismatch");
+        assert_eq!(
+            config.len(),
+            self.params.len(),
+            "configuration arity mismatch"
+        );
         let mut index = 0u64;
         for (i, p) in self.params.iter().enumerate() {
             let c = config.choice(i);

@@ -272,7 +272,11 @@ mod tests {
                     second_array_packed is False, interchange_first_two_loops is False, \
                     outer_loop_tiling_factor is 81, middle_loop_tiling_factor is 64, \
                     inner_loop_tiling_factor is 100";
-        assert_eq!(parse_nl_config(&space, line), None, "81 is not a candidate tile");
+        assert_eq!(
+            parse_nl_config(&space, line),
+            None,
+            "81 is not a candidate tile"
+        );
     }
 
     #[test]
@@ -286,7 +290,11 @@ mod tests {
         );
         assert_eq!(parse_performance("Performance: fast"), None);
         assert_eq!(parse_performance("Perf: 1.0"), None);
-        assert_eq!(parse_performance("Performance: 1.2.3"), Some(1.2), "second dot stops parse");
+        assert_eq!(
+            parse_performance("Performance: 1.2.3"),
+            Some(1.2),
+            "second dot stops parse"
+        );
     }
 
     #[test]

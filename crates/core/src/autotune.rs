@@ -115,13 +115,19 @@ pub struct GbdtSearch {
 
 impl Default for GbdtSearch {
     fn default() -> Self {
-        Self { init_random: 8, pool: 256 }
+        Self {
+            init_random: 8,
+            pool: 256,
+        }
     }
 }
 
 impl Tuner for GbdtSearch {
     fn name(&self) -> String {
-        format!("gbdt-surrogate(init={}, pool={})", self.init_random, self.pool)
+        format!(
+            "gbdt-surrogate(init={}, pool={})",
+            self.init_random, self.pool
+        )
     }
 
     fn run(&self, dataset: &PerfDataset, budget: usize, seed: u64) -> TuningTrajectory {
@@ -135,8 +141,7 @@ impl Tuner for GbdtSearch {
             evaluated.push((c, r));
         }
         while evaluated.len() < budget {
-            let xs: Vec<Vec<f64>> =
-                evaluated.iter().map(|(c, _)| space.featurize(c)).collect();
+            let xs: Vec<Vec<f64>> = evaluated.iter().map(|(c, _)| space.featurize(c)).collect();
             let ys: Vec<f64> = evaluated.iter().map(|&(_, r)| r).collect();
             let params = GbdtParams {
                 n_estimators: 120,
@@ -168,7 +173,7 @@ impl Tuner for GbdtSearch {
 /// predictions and evaluates the minimum.
 pub struct LlmSearch<M> {
     /// The language model used as surrogate.
-    pub model: M,
+    pub model: std::sync::Arc<M>,
     /// Random evaluations before the surrogate activates.
     pub init_random: usize,
     /// Candidates scored per iteration (each costs one generation).
@@ -178,18 +183,28 @@ pub struct LlmSearch<M> {
 }
 
 impl<M: LanguageModel> LlmSearch<M> {
-    fn predict(&self, builder: &PromptBuilder, examples: &[(Config, f64)], cand: &Config, seed: u64) -> f64 {
+    fn predict(
+        &self,
+        builder: &PromptBuilder,
+        examples: &[(Config, f64)],
+        cand: &Config,
+        seed: u64,
+    ) -> f64 {
         let prompt = builder.discriminative(examples, cand);
         let t = self.model.tokenizer();
         let ids = prompt.to_tokens(t);
-        let spec = GenerateSpec {
-            sampler: Sampler::paper(),
-            max_tokens: 16,
-            stop_tokens: vec![t.vocab().token_id("\n").expect("newline"), t.special(EOS)],
-            trace_min_prob: 1e-4,
-            seed,
-        };
-        let trace = generate(&self.model, &ids, &spec);
+        let spec = GenerateSpec::builder()
+            .sampler(Sampler::paper())
+            .max_tokens(16)
+            .stop_tokens(vec![
+                t.vocab().token_id("\n").expect("newline"),
+                t.special(EOS),
+            ])
+            .trace_min_prob(1e-4)
+            .seed(seed)
+            .build()
+            .expect("valid surrogate spec");
+        let trace = generate(&self.model, &ids, &spec).expect("surrogate decode");
         extract_value(&trace.decode(t))
             .map(|(v, _)| v)
             .unwrap_or(f64::INFINITY)
@@ -243,7 +258,7 @@ impl<M: LanguageModel> Tuner for LlmSearch<M> {
 /// relative to other techniques in the field", closed over the full loop.
 pub struct LlmCandidateSearch<M> {
     /// The language model used to propose candidates.
-    pub model: M,
+    pub model: std::sync::Arc<M>,
     /// Random evaluations before the proposer activates.
     pub init_random: usize,
     /// Most recent observations shown as in-context examples.
@@ -365,8 +380,11 @@ mod tests {
     fn gbdt_search_never_reevaluates() {
         let d = sm();
         let t = GbdtSearch::default().run(d, 30, 3);
-        let uniq: std::collections::HashSet<_> =
-            t.evaluated.iter().map(|(c, _)| d.space().index_of(c)).collect();
+        let uniq: std::collections::HashSet<_> = t
+            .evaluated
+            .iter()
+            .map(|(c, _)| d.space().index_of(c))
+            .collect();
         assert_eq!(uniq.len(), t.evaluated.len());
     }
 
@@ -374,15 +392,18 @@ mod tests {
     fn llm_candidate_sampling_runs_within_budget_without_repeats() {
         let d = sm();
         let tuner = LlmCandidateSearch {
-            model: InductionLm::paper(0),
+            model: std::sync::Arc::new(InductionLm::paper(0)),
             init_random: 3,
             max_icl: 8,
             improvement: 0.9,
         };
         let t = tuner.run(d, 8, 5);
         assert_eq!(t.evaluated.len(), 8);
-        let uniq: std::collections::HashSet<_> =
-            t.evaluated.iter().map(|(c, _)| d.space().index_of(c)).collect();
+        let uniq: std::collections::HashSet<_> = t
+            .evaluated
+            .iter()
+            .map(|(c, _)| d.space().index_of(c))
+            .collect();
         assert_eq!(uniq.len(), 8, "no configuration evaluated twice");
     }
 
@@ -390,7 +411,7 @@ mod tests {
     fn llm_search_runs_within_budget() {
         let d = sm();
         let tuner = LlmSearch {
-            model: InductionLm::paper(0),
+            model: std::sync::Arc::new(InductionLm::paper(0)),
             init_random: 3,
             pool: 2,
             max_icl: 6,
@@ -398,6 +419,9 @@ mod tests {
         let t = tuner.run(d, 6, 4);
         assert_eq!(t.evaluated.len(), 6);
         let curve = t.best_curve();
-        assert!(curve.windows(2).all(|w| w[1] <= w[0]), "monotone best curve");
+        assert!(
+            curve.windows(2).all(|w| w[1] <= w[0]),
+            "monotone best curve"
+        );
     }
 }

@@ -69,7 +69,10 @@ pub fn value_span(trace: &GenerationTrace, tokenizer: &Tokenizer) -> Option<Rang
         if sep != ": " && sep != ":" {
             return false;
         }
-        j >= 2 && vocab.token_str(trace.steps[j - 2].chosen).ends_with("Performance")
+        j >= 2
+            && vocab
+                .token_str(trace.steps[j - 2].chosen)
+                .ends_with("Performance")
     };
     for (i, step) in trace.steps.iter().enumerate() {
         if is_digit(step.chosen) && anchored(i) {
@@ -174,11 +177,14 @@ pub fn value_distribution(
     seed: u64,
 ) -> ValueDistribution {
     assert!(budget > 0, "enumeration budget must be positive");
-    assert!(!span.is_empty() && span.end <= trace.steps.len(), "bad value span");
+    assert!(
+        !span.is_empty() && span.end <= trace.steps.len(),
+        "bad value span"
+    );
     let steps = &trace.steps[span];
-    let permutations = steps
-        .iter()
-        .fold(1u128, |acc, s| acc.saturating_mul(s.num_possibilities().max(1) as u128));
+    let permutations = steps.iter().fold(1u128, |acc, s| {
+        acc.saturating_mul(s.num_possibilities().max(1) as u128)
+    });
 
     let vocab = tokenizer.vocab();
     let mut agg: HashMap<u64, (f64, f64)> = HashMap::new(); // bits -> (value, weight)
@@ -210,7 +216,14 @@ pub fn value_distribution(
                 let s = vocab.token_str(alt.id);
                 let len = prefix.len();
                 prefix.push_str(s);
-                rec(steps, vocab, prefix, weight * alt.prob as f64, depth + 1, add);
+                rec(
+                    steps,
+                    vocab,
+                    prefix,
+                    weight * alt.prob as f64,
+                    depth + 1,
+                    add,
+                );
                 prefix.truncate(len);
             }
         }
@@ -245,7 +258,11 @@ pub fn value_distribution(
         .into_values()
         .map(|(v, w)| (v, if total > 0.0 { w / total } else { 0.0 }))
         .collect();
-    candidates.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.partial_cmp(&b.0).unwrap()));
+    candidates.sort_by(|a, b| {
+        b.1.partial_cmp(&a.1)
+            .unwrap()
+            .then(a.0.partial_cmp(&b.0).unwrap())
+    });
     let grand = total + malformed;
     ValueDistribution {
         candidates,
@@ -277,7 +294,10 @@ mod tests {
     fn step_of(t: &Tokenizer, alts: &[(&str, f32)]) -> GenStep {
         let alternatives: Vec<TokenAlt> = alts
             .iter()
-            .map(|&(s, prob)| TokenAlt { id: t.vocab().token_id(s).unwrap(), prob })
+            .map(|&(s, prob)| TokenAlt {
+                id: t.vocab().token_id(s).unwrap(),
+                prob,
+            })
             .collect();
         GenStep {
             chosen: alternatives[0].id,
@@ -314,8 +334,11 @@ mod tests {
         // scaffold) are NOT the value...
         let mut steps = vec![step_of(&t, &[(" The", 1.0)])];
         steps.extend(value_trace(&t).steps);
-        let trace =
-            GenerationTrace { prompt_len: 0, steps, stopped_naturally: false };
+        let trace = GenerationTrace {
+            prompt_len: 0,
+            steps,
+            stopped_naturally: false,
+        };
         assert_eq!(value_span(&trace, &t), None);
         // ...but a run following a re-emitted "Performance: " is.
         let mut steps = vec![
@@ -327,8 +350,11 @@ mod tests {
         ];
         steps.extend(value_trace(&t).steps);
         steps.push(step_of(&t, &[(" is", 0.7), ("\n", 0.3)]));
-        let trace =
-            GenerationTrace { prompt_len: 0, steps, stopped_naturally: false };
+        let trace = GenerationTrace {
+            prompt_len: 0,
+            steps,
+            stopped_naturally: false,
+        };
         assert_eq!(value_span(&trace, &t), Some(5..10));
     }
 
@@ -413,7 +439,10 @@ mod tests {
         let trace = value_trace(&t);
         let dist = value_distribution(&trace, 0..5, &t, 1000, 0);
         let (lo, hi) = dist.range().unwrap();
-        assert!(lo < 0.003 && hi > 1.0, "range spans 0.xx to 1.xx: ({lo}, {hi})");
+        assert!(
+            lo < 0.003 && hi > 1.0,
+            "range spans 0.xx to 1.xx: ({lo}, {hi})"
+        );
         let mean = dist.mean().unwrap();
         assert!(mean > lo && mean < hi);
         let median = dist.median().unwrap();

@@ -13,14 +13,13 @@ use crate::decoding::{is_exact_icl_copy, value_span};
 use crate::extract::{extract_value, Extraction};
 use crate::prompt::PromptBuilder;
 use lmpeel_configspace::ArraySize;
-use lmpeel_lm::{
-    generate, generate_session, GenerateSpec, GenerationTrace, LanguageModel, Sampler,
-};
+use lmpeel_lm::{generate, GenerateSpec, GenerationTrace, LanguageModel, Sampler};
 use lmpeel_perfdata::{curated_icl_replicas, icl_replicas, DatasetBundle, IclSet};
+use lmpeel_serve::{GenerateRequest, InferenceService, RequestError};
 use lmpeel_stats::{RegressionReport, Summary, Welford};
 use lmpeel_tokenizer::EOS;
-use rayon::prelude::*;
 use std::ops::Range;
+use std::sync::Arc;
 
 /// Which experiments to run.
 #[derive(Debug, Clone, PartialEq)]
@@ -145,24 +144,25 @@ pub struct PredictionRecord {
 
 /// Run every task in a plan against models produced by `model_factory`
 /// (one model per sampling seed, matching the paper's per-seed reruns).
-/// Tasks run rayon-parallel; output order is deterministic.
+/// Output order is deterministic: tasks in grid order, seeds within a task.
 ///
-/// Within a task the prompt is tokenized and prefilled into one
-/// [`DecodeSession`](lmpeel_lm::DecodeSession) which is then forked per
-/// seed, so the shared prompt prefix is paid for once instead of once per
-/// seed. A fork is re-keyed to the seed
-/// ([`DecodeSession::rekey`](lmpeel_lm::DecodeSession::rekey)); substrates
-/// whose seed is baked into weights refuse, and those seeds fall back to a
-/// fresh `model_factory(seed)` generation. `model_factory` must produce
-/// models sharing one vocabulary across seeds — only logit behaviour may
-/// vary with the seed.
+/// The whole grid is submitted to a continuous-batching
+/// [`InferenceService`] up front: the scheduler interleaves decodes across
+/// tasks, and its prefix cache pays each distinct prompt's prefill once —
+/// the per-seed requests over one prompt fork the cached session instead of
+/// re-prefilling. Each request asks the service to re-key the session to its
+/// seed ([`DecodeSession::rekey`](lmpeel_lm::DecodeSession::rekey));
+/// substrates whose seed is baked into weights refuse, and those seeds fall
+/// back to a fresh `model_factory(seed)` generation. `model_factory` must
+/// produce models sharing one vocabulary across seeds — only logit
+/// behaviour may vary with the seed.
 pub fn run_plan<M, F>(
     bundle: &DatasetBundle,
     plan: &ExperimentPlan,
     model_factory: F,
 ) -> Vec<PredictionRecord>
 where
-    M: LanguageModel + Sync,
+    M: LanguageModel,
     F: Fn(u64) -> M + Sync,
 {
     if plan.seeds.is_empty() {
@@ -175,7 +175,15 @@ where
         for &count in &plan.icl_counts {
             let sets = icl_replicas(ds, count, plan.replicas, plan.selection_seed);
             for (r, set) in sets.into_iter().enumerate() {
-                tasks.push((SettingKey { size, icl_count: count, curated: false }, r, set));
+                tasks.push((
+                    SettingKey {
+                        size,
+                        icl_count: count,
+                        curated: false,
+                    },
+                    r,
+                    set,
+                ));
             }
         }
     }
@@ -184,68 +192,94 @@ where
         for &count in &plan.curated_counts {
             let sets = curated_icl_replicas(ds, count, plan.replicas, plan.selection_seed);
             for (r, set) in sets.into_iter().enumerate() {
-                tasks.push((SettingKey { size, icl_count: count, curated: true }, r, set));
+                tasks.push((
+                    SettingKey {
+                        size,
+                        icl_count: count,
+                        curated: true,
+                    },
+                    r,
+                    set,
+                ));
             }
         }
     }
 
-    tasks
-        .par_iter()
+    let base_model = Arc::new(model_factory(plan.seeds[0]));
+    let tokenizer = base_model.tokenizer();
+    let service = InferenceService::builder()
+        .model("default", base_model.clone())
+        // Room for the whole grid: submission never blocks, the scheduler
+        // drains at its own pace.
+        .queue_capacity(tasks.len() * plan.seeds.len())
+        .build();
+
+    // Submit everything before waiting on anything so the scheduler can
+    // batch across tasks and seeds.
+    let submissions: Vec<_> = tasks
+        .iter()
         .flat_map(|(key, replica, set)| {
             let builder = PromptBuilder::new(bundle.for_size(key.size).space().clone(), key.size);
-            let prompt = builder.for_icl_set(set);
-            // Prefill the shared prompt once, fork per seed.
-            let base_model = model_factory(plan.seeds[0]);
-            let tokenizer = base_model.tokenizer();
-            let ids = prompt.to_tokens(tokenizer);
-            let mut base_session = base_model.session();
-            base_session.extend(&ids);
+            let ids = builder.for_icl_set(set).to_tokens(tokenizer);
             plan.seeds
                 .iter()
                 .map(|&seed| {
-                    let spec = GenerateSpec {
-                        sampler: Sampler::paper(),
-                        max_tokens: plan.max_tokens,
+                    let spec = GenerateSpec::builder()
+                        .sampler(Sampler::paper())
+                        .max_tokens(plan.max_tokens)
                         // EOS only: a drifted generation that restarts the
                         // example scaffold crosses line breaks before it
                         // reaches a value, exactly as the paper's deviant
                         // outputs did.
-                        stop_tokens: vec![tokenizer.special(EOS)],
-                        trace_min_prob: plan.trace_min_prob,
-                        seed,
-                    };
-                    let mut fork = base_session.fork();
-                    let trace = if fork.rekey(seed) {
-                        generate_session(&mut *fork, &spec)
-                    } else {
-                        // Seed is baked into this substrate's weights:
-                        // rebuild the model and pay the full prefill.
-                        drop(fork);
-                        let model = model_factory(seed);
-                        generate(&model, &ids, &spec)
-                    };
-                    let response = trace.decode(tokenizer);
-                    let extracted = extract_value(&response);
-                    let icl_values: Vec<f64> =
-                        set.examples.iter().map(|&(_, r)| r).collect();
-                    let predicted = extracted.map(|(v, _)| v);
-                    PredictionRecord {
-                        key: *key,
-                        replica: *replica,
-                        seed,
-                        truth: set.truth,
-                        copied_from_icl: predicted
-                            .map(|v| is_exact_icl_copy(v, &icl_values))
-                            .unwrap_or(false),
-                        icl_values,
-                        predicted,
-                        extraction: extracted.map(|(_, e)| e),
-                        value_span: value_span(&trace, tokenizer),
-                        response,
-                        trace,
-                    }
+                        .stop_tokens(vec![tokenizer.special(EOS)])
+                        .trace_min_prob(plan.trace_min_prob)
+                        .seed(seed)
+                        .build()
+                        .expect("plan yields a valid generation spec");
+                    let handle = service
+                        .submit(
+                            GenerateRequest::new("default", ids.clone(), spec.clone())
+                                .with_model_seed(seed),
+                        )
+                        .expect("service accepts while running");
+                    (key, *replica, set, seed, ids.clone(), spec, handle)
                 })
                 .collect::<Vec<_>>()
+        })
+        .collect();
+
+    submissions
+        .into_iter()
+        .map(|(key, replica, set, seed, ids, spec, handle)| {
+            let trace = match handle.wait() {
+                Ok(response) => response.trace,
+                Err(RequestError::RekeyUnsupported(_)) => {
+                    // Seed is baked into this substrate's weights: rebuild
+                    // the model and pay the full prefill.
+                    let model = Arc::new(model_factory(seed));
+                    generate(&model, &ids, &spec).expect("per-seed fallback decodes")
+                }
+                Err(e) => panic!("inference service failed a grid task: {e}"),
+            };
+            let response = trace.decode(tokenizer);
+            let extracted = extract_value(&response);
+            let icl_values: Vec<f64> = set.examples.iter().map(|&(_, r)| r).collect();
+            let predicted = extracted.map(|(v, _)| v);
+            PredictionRecord {
+                key: *key,
+                replica,
+                seed,
+                truth: set.truth,
+                copied_from_icl: predicted
+                    .map(|v| is_exact_icl_copy(v, &icl_values))
+                    .unwrap_or(false),
+                icl_values,
+                predicted,
+                extraction: extracted.map(|(_, e)| e),
+                value_span: value_span(&trace, tokenizer),
+                response,
+                trace,
+            }
         })
         .collect()
 }
@@ -322,10 +356,7 @@ pub struct OverallReport {
 ///
 /// # Panics
 /// Panics if no predictions were extracted or no settings qualified.
-pub fn overall_report(
-    records: &[PredictionRecord],
-    settings: &[SettingReport],
-) -> OverallReport {
+pub fn overall_report(records: &[PredictionRecord], settings: &[SettingReport]) -> OverallReport {
     assert!(!settings.is_empty(), "no settings with enough predictions");
     let mut mare = Welford::new();
     let mut msre = Welford::new();
@@ -391,9 +422,7 @@ mod tests {
 
     fn smoke_records() -> &'static Vec<PredictionRecord> {
         static RECORDS: OnceLock<Vec<PredictionRecord>> = OnceLock::new();
-        RECORDS.get_or_init(|| {
-            run_plan(bundle(), &ExperimentPlan::smoke(), InductionLm::paper)
-        })
+        RECORDS.get_or_init(|| run_plan(bundle(), &ExperimentPlan::smoke(), InductionLm::paper))
     }
 
     #[test]
@@ -485,35 +514,43 @@ mod tests {
                 }
             }
         }
-        assert!(varied, "different seeds should sometimes sample differently");
+        assert!(
+            varied,
+            "different seeds should sometimes sample differently"
+        );
     }
 
     #[test]
     fn forked_seed_generations_match_fresh_per_seed_models() {
-        // The prefix-sharing path (prefill once, fork + rekey per seed)
+        // The service path (prefix-cached prefill, fork + rekey per seed)
         // must reproduce what a per-seed model built from scratch decodes.
         let plan = ExperimentPlan::smoke();
         let records = smoke_records();
         let ds = bundle().for_size(ArraySize::SM);
         let sets = icl_replicas(ds, 2, plan.replicas, plan.selection_seed);
-        let key = SettingKey { size: ArraySize::SM, icl_count: 2, curated: false };
+        let key = SettingKey {
+            size: ArraySize::SM,
+            icl_count: 2,
+            curated: false,
+        };
         for (replica, set) in sets.iter().enumerate() {
             for &seed in &plan.seeds {
                 let rec = records
                     .iter()
                     .find(|r| r.key == key && r.replica == replica && r.seed == seed)
                     .expect("record exists");
-                let model = InductionLm::paper(seed);
+                let model = Arc::new(InductionLm::paper(seed));
                 let builder = PromptBuilder::new(ds.space().clone(), ArraySize::SM);
                 let ids = builder.for_icl_set(set).to_tokens(model.tokenizer());
-                let spec = GenerateSpec {
-                    sampler: Sampler::paper(),
-                    max_tokens: plan.max_tokens,
-                    stop_tokens: vec![model.tokenizer().special(EOS)],
-                    trace_min_prob: plan.trace_min_prob,
-                    seed,
-                };
-                let trace = generate(&model, &ids, &spec);
+                let spec = GenerateSpec::builder()
+                    .sampler(Sampler::paper())
+                    .max_tokens(plan.max_tokens)
+                    .stop_tokens(vec![model.tokenizer().special(EOS)])
+                    .trace_min_prob(plan.trace_min_prob)
+                    .seed(seed)
+                    .build()
+                    .unwrap();
+                let trace = generate(&model, &ids, &spec).unwrap();
                 assert_eq!(
                     trace.decode(model.tokenizer()),
                     rec.response,
@@ -525,7 +562,11 @@ mod tests {
 
     #[test]
     fn setting_key_display() {
-        let k = SettingKey { size: ArraySize::SM, icl_count: 50, curated: true };
+        let k = SettingKey {
+            size: ArraySize::SM,
+            icl_count: 50,
+            curated: true,
+        };
         assert_eq!(k.to_string(), "SM/curated icl=50");
     }
 }

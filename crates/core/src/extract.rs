@@ -120,9 +120,18 @@ mod tests {
 
     #[test]
     fn clean_responses_are_direct() {
-        assert_eq!(extract_value("0.0031772"), Some((0.0031772, Extraction::Direct)));
-        assert_eq!(extract_value("  2.7341093\n"), Some((2.7341093, Extraction::Direct)));
-        assert_eq!(extract_value("0.5 whatever"), Some((0.5, Extraction::Direct)));
+        assert_eq!(
+            extract_value("0.0031772"),
+            Some((0.0031772, Extraction::Direct))
+        );
+        assert_eq!(
+            extract_value("  2.7341093\n"),
+            Some((2.7341093, Extraction::Direct))
+        );
+        assert_eq!(
+            extract_value("0.5 whatever"),
+            Some((0.5, Extraction::Direct))
+        );
     }
 
     #[test]
@@ -166,7 +175,10 @@ mod tests {
 
     #[test]
     fn malformed_trailing_dot_is_not_swallowed() {
-        assert_eq!(extract_value("3. no digits follow"), Some((3.0, Extraction::Direct)));
+        assert_eq!(
+            extract_value("3. no digits follow"),
+            Some((3.0, Extraction::Direct))
+        );
         assert_eq!(extract_value("0.12.5"), Some((0.12, Extraction::Direct)));
     }
 

@@ -49,15 +49,22 @@ impl GbdtNumberProvider {
     /// Panics if the set has no examples.
     pub fn fit(set: &IclSet, space: &lmpeel_configspace::ConfigSpace) -> Self {
         assert!(!set.examples.is_empty(), "need at least one example");
-        let xs: Vec<Vec<f64>> =
-            set.examples.iter().map(|(c, _)| space.featurize(c)).collect();
+        let xs: Vec<Vec<f64>> = set
+            .examples
+            .iter()
+            .map(|(c, _)| space.featurize(c))
+            .collect();
         let ys: Vec<f64> = set.examples.iter().map(|&(_, r)| r).collect();
         let model = Gbdt::fit(&xs, &ys, Self::few_shot_params(xs.len()), 0);
         Self { model }
     }
 
     /// Predict the runtime of a configuration.
-    pub fn predict(&self, space: &lmpeel_configspace::ConfigSpace, config: &lmpeel_configspace::Config) -> f64 {
+    pub fn predict(
+        &self,
+        space: &lmpeel_configspace::ConfigSpace,
+        config: &lmpeel_configspace::Config,
+    ) -> f64 {
         self.model.predict_row(&space.featurize(config)).max(0.0)
     }
 }
@@ -66,7 +73,7 @@ impl GbdtNumberProvider {
 /// few-shot boosted-tree provider fills the numeric slot. Returns the
 /// trace and the provider's value.
 pub fn hybrid_predict<M: LanguageModel>(
-    model: &M,
+    model: &std::sync::Arc<M>,
     builder: &PromptBuilder,
     set: &IclSet,
     seed: u64,
@@ -75,16 +82,19 @@ pub fn hybrid_predict<M: LanguageModel>(
     let value = provider.predict(builder.space(), &set.query);
     let tok = model.tokenizer();
     let ids = builder.for_icl_set(set).to_tokens(tok);
-    let spec = GenerateSpec {
-        sampler: Sampler::paper(),
-        max_tokens: 24,
-        stop_tokens: vec![tok.vocab().token_id("\n").expect("newline"), tok.special(EOS)],
-        trace_min_prob: 1e-3,
-        seed,
-    };
-    let trace = generate_with_number_hook(model, &ids, &spec, |_ctx| {
-        Some(format_runtime(value))
-    });
+    let spec = GenerateSpec::builder()
+        .sampler(Sampler::paper())
+        .max_tokens(24)
+        .stop_tokens(vec![
+            tok.vocab().token_id("\n").expect("newline"),
+            tok.special(EOS),
+        ])
+        .trace_min_prob(1e-3)
+        .seed(seed)
+        .build()
+        .expect("valid hybrid spec");
+    let trace = generate_with_number_hook(model, &ids, &spec, |_ctx| Some(format_runtime(value)))
+        .expect("hybrid decode");
     (trace, value)
 }
 
@@ -120,7 +130,7 @@ mod tests {
         let d = sm();
         let set = icl_replicas(&d, 20, 1, 6).remove(0);
         let builder = PromptBuilder::new(d.space().clone(), d.size());
-        let model = InductionLm::paper(0);
+        let model = std::sync::Arc::new(InductionLm::paper(0));
         let (trace, value) = hybrid_predict(&model, &builder, &set, 0);
         let text = trace.decode(model.tokenizer());
         let (extracted, _) = extract_value(&text).expect("value in response");
@@ -140,7 +150,7 @@ mod tests {
         let d = sm();
         let sets = icl_replicas(&d, 50, 4, 8);
         let builder = PromptBuilder::new(d.space().clone(), d.size());
-        let model = InductionLm::paper(0);
+        let model = std::sync::Arc::new(InductionLm::paper(0));
         let mut hybrid_err = 0.0;
         let mut plain_err = 0.0;
         for set in &sets {
@@ -148,18 +158,18 @@ mod tests {
             hybrid_err += relative_error(value, set.truth);
             let tok = model.tokenizer();
             let ids = builder.for_icl_set(set).to_tokens(tok);
-            let spec = GenerateSpec {
-                sampler: Sampler::paper(),
-                max_tokens: 24,
-                stop_tokens: vec![
-                    tok.vocab().token_id("\n").unwrap(),
-                    tok.special(EOS),
-                ],
-                trace_min_prob: 1e-3,
-                seed: 0,
-            };
-            let trace = lmpeel_lm::generate(&model, &ids, &spec);
-            let plain = extract_value(&trace.decode(tok)).map(|(v, _)| v).unwrap_or(0.0);
+            let spec = GenerateSpec::builder()
+                .sampler(Sampler::paper())
+                .max_tokens(24)
+                .stop_tokens(vec![tok.vocab().token_id("\n").unwrap(), tok.special(EOS)])
+                .trace_min_prob(1e-3)
+                .seed(0)
+                .build()
+                .unwrap();
+            let trace = lmpeel_lm::generate(&model, &ids, &spec).unwrap();
+            let plain = extract_value(&trace.decode(tok))
+                .map(|(v, _)| v)
+                .unwrap_or(0.0);
             plain_err += relative_error(plain, set.truth);
         }
         assert!(

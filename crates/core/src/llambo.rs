@@ -16,10 +16,12 @@
 
 use crate::prompt::{problem_description, SYSTEM_INSTRUCTIONS};
 use lmpeel_configspace::{text, ArraySize, Config, ConfigSpace};
-use lmpeel_lm::{generate_session, GenerateSpec, LanguageModel, Sampler};
+use lmpeel_lm::{GenerateSpec, LanguageModel, Sampler};
 use lmpeel_perfdata::PerfDataset;
+use lmpeel_serve::{GenerateRequest, InferenceService};
 use lmpeel_stats::{seeded_rng, SeedDomain};
 use lmpeel_tokenizer::{BOS, EOS, ROLE_ASSISTANT, ROLE_SYSTEM, ROLE_USER};
+use std::sync::Arc;
 
 /// Single-letter class labels (single byte tokens, so every label is one
 /// token for any vocabulary).
@@ -38,7 +40,10 @@ impl RuntimeBuckets {
     /// # Panics
     /// Panics unless `2 <= n_classes <= 8`.
     pub fn from_dataset(dataset: &PerfDataset, n_classes: usize) -> Self {
-        assert!((2..=LABELS.len()).contains(&n_classes), "2..=8 classes supported");
+        assert!(
+            (2..=LABELS.len()).contains(&n_classes),
+            "2..=8 classes supported"
+        );
         let mut sorted: Vec<f64> = dataset.runtimes().to_vec();
         sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
         let thresholds = (1..n_classes)
@@ -115,7 +120,7 @@ pub fn classification_user_text(
 /// Returns the predicted class index, or `None` if the response was not a
 /// valid label.
 pub fn predict_class<M: LanguageModel>(
-    model: &M,
+    model: &Arc<M>,
     space: &ConfigSpace,
     size: ArraySize,
     buckets: &RuntimeBuckets,
@@ -129,13 +134,13 @@ pub fn predict_class<M: LanguageModel>(
 }
 
 /// Run the generative surrogate over several sampling seeds while paying
-/// the prompt prefill once: the chat prompt is tokenized into one
-/// [`DecodeSession`](lmpeel_lm::DecodeSession) and forked per seed. The
-/// seed here only drives sampling (the model's own jitter key is fixed at
-/// construction), so forks need no re-keying. Returns one prediction per
-/// seed, in order.
+/// the prompt prefill once: all seeds are submitted to an ephemeral
+/// [`InferenceService`] whose prefix cache prefills the shared chat prompt
+/// once and forks it per seed. The seed here only drives sampling (the
+/// model's own jitter key is fixed at construction), so no re-keying is
+/// requested. Returns one prediction per seed, in order.
 pub fn predict_classes<M: LanguageModel>(
-    model: &M,
+    model: &Arc<M>,
     space: &ConfigSpace,
     size: ArraySize,
     buckets: &RuntimeBuckets,
@@ -144,21 +149,34 @@ pub fn predict_classes<M: LanguageModel>(
     seeds: &[u64],
 ) -> Vec<Option<usize>> {
     let user = classification_user_text(space, size, buckets, examples, query);
-    let ids = chat_tokens(model, &user, "Performance bucket: ");
+    let ids = chat_tokens(model.as_ref(), &user, "Performance bucket: ");
     let t = model.tokenizer();
-    let mut base = model.session();
-    base.extend(&ids);
-    seeds
+    let stop = vec![t.vocab().token_id("\n").expect("newline"), t.special(EOS)];
+    let service = InferenceService::builder()
+        .model("llambo", model.clone())
+        .queue_capacity(seeds.len().max(1))
+        .max_batch(seeds.len().max(1))
+        .build();
+    let handles: Vec<_> = seeds
         .iter()
         .map(|&seed| {
-            let spec = GenerateSpec {
-                sampler: Sampler::paper(),
-                max_tokens: 4,
-                stop_tokens: vec![t.vocab().token_id("\n").expect("newline"), t.special(EOS)],
-                trace_min_prob: 1e-4,
-                seed,
-            };
-            let trace = generate_session(&mut *base.fork(), &spec);
+            let spec = GenerateSpec::builder()
+                .sampler(Sampler::paper())
+                .max_tokens(4)
+                .stop_tokens(stop.clone())
+                .trace_min_prob(1e-4)
+                .seed(seed)
+                .build()
+                .expect("valid classification spec");
+            service
+                .submit(GenerateRequest::new("llambo", ids.clone(), spec))
+                .expect("service accepts while running")
+        })
+        .collect();
+    handles
+        .into_iter()
+        .map(|h| {
+            let trace = h.wait().expect("classification decode").trace;
             let response = trace.decode(t);
             let label = response.trim().chars().next()?.to_string();
             buckets.class_of_label(&label)
@@ -181,7 +199,10 @@ pub fn candidate_user_text(
          Here are the examples:\n",
     );
     for (cfg, runtime) in examples {
-        user.push_str(&format!("Performance: {}\n", text::format_runtime(*runtime)));
+        user.push_str(&format!(
+            "Performance: {}\n",
+            text::format_runtime(*runtime)
+        ));
         user.push_str(&text::nl_config_line(space, cfg, size));
         user.push('\n');
     }
@@ -194,7 +215,7 @@ pub fn candidate_user_text(
 /// `target`. Returns the proposed configuration if the generated line
 /// parses back into the space.
 pub fn propose_candidate<M: LanguageModel>(
-    model: &M,
+    model: &Arc<M>,
     space: &ConfigSpace,
     size: ArraySize,
     examples: &[(Config, f64)],
@@ -207,10 +228,10 @@ pub fn propose_candidate<M: LanguageModel>(
 }
 
 /// Run candidate sampling over several sampling seeds while paying the
-/// prompt prefill once (see [`predict_classes`] for the forking scheme).
+/// prompt prefill once (see [`predict_classes`] for the service scheme).
 /// Returns one proposal per seed, in order.
 pub fn propose_candidates<M: LanguageModel>(
-    model: &M,
+    model: &Arc<M>,
     space: &ConfigSpace,
     size: ArraySize,
     examples: &[(Config, f64)],
@@ -221,21 +242,34 @@ pub fn propose_candidates<M: LanguageModel>(
     // Trailing space matters: the examples tokenize the separator as
     // a single ": " token, and the induction machinery needs the primer
     // to end on that same token.
-    let ids = chat_tokens(model, &user, "Hyperparameter configuration: ");
+    let ids = chat_tokens(model.as_ref(), &user, "Hyperparameter configuration: ");
     let t = model.tokenizer();
-    let mut base = model.session();
-    base.extend(&ids);
-    seeds
+    let stop = vec![t.vocab().token_id("\n").expect("newline"), t.special(EOS)];
+    let service = InferenceService::builder()
+        .model("llambo", model.clone())
+        .queue_capacity(seeds.len().max(1))
+        .max_batch(seeds.len().max(1))
+        .build();
+    let handles: Vec<_> = seeds
         .iter()
         .map(|&seed| {
-            let spec = GenerateSpec {
-                sampler: Sampler::paper(),
-                max_tokens: 96,
-                stop_tokens: vec![t.vocab().token_id("\n").expect("newline"), t.special(EOS)],
-                trace_min_prob: 1e-4,
-                seed,
-            };
-            let trace = generate_session(&mut *base.fork(), &spec);
+            let spec = GenerateSpec::builder()
+                .sampler(Sampler::paper())
+                .max_tokens(96)
+                .stop_tokens(stop.clone())
+                .trace_min_prob(1e-4)
+                .seed(seed)
+                .build()
+                .expect("valid candidate-sampling spec");
+            service
+                .submit(GenerateRequest::new("llambo", ids.clone(), spec))
+                .expect("service accepts while running")
+        })
+        .collect();
+    handles
+        .into_iter()
+        .map(|h| {
+            let trace = h.wait().expect("candidate decode").trace;
             let line = format!("Hyperparameter configuration: {}", trace.decode(t));
             text::parse_nl_config(space, &line).map(|(_, cfg)| cfg)
         })
@@ -256,8 +290,8 @@ pub struct ClassificationReport {
 }
 
 /// Evaluate the generative surrogate over `n_queries` random ICL tasks.
-pub fn evaluate_classification<M: LanguageModel + Sync>(
-    model: &M,
+pub fn evaluate_classification<M: LanguageModel>(
+    model: &Arc<M>,
     dataset: &PerfDataset,
     buckets: &RuntimeBuckets,
     n_examples: usize,
@@ -294,8 +328,16 @@ pub fn evaluate_classification<M: LanguageModel + Sync>(
         }
     }
     ClassificationReport {
-        accuracy: if valid > 0 { correct as f64 / valid as f64 } else { 0.0 },
-        mean_class_distance: if valid > 0 { dist_sum / valid as f64 } else { f64::NAN },
+        accuracy: if valid > 0 {
+            correct as f64 / valid as f64
+        } else {
+            0.0
+        },
+        mean_class_distance: if valid > 0 {
+            dist_sum / valid as f64
+        } else {
+            f64::NAN
+        },
         valid_fraction: valid as f64 / n_queries as f64,
         n: n_queries,
     }
@@ -323,7 +365,10 @@ mod tests {
         let total = d.len() as f64;
         for c in counts {
             let frac = c as f64 / total;
-            assert!((0.2..=0.3).contains(&frac), "bucket fraction {frac} unbalanced");
+            assert!(
+                (0.2..=0.3).contains(&frac),
+                "bucket fraction {frac} unbalanced"
+            );
         }
     }
 
@@ -359,7 +404,7 @@ mod tests {
     fn model_predicts_a_valid_class_from_icl() {
         let d = sm();
         let b = RuntimeBuckets::from_dataset(&d, 3);
-        let model = InductionLm::paper(0);
+        let model = std::sync::Arc::new(InductionLm::paper(0));
         let space = d.space();
         let examples: Vec<(Config, f64)> = (0..6)
             .map(|i| {
@@ -377,7 +422,7 @@ mod tests {
     #[test]
     fn candidate_sampling_roundtrips_through_the_parser() {
         let d = sm();
-        let model = InductionLm::paper(0);
+        let model = std::sync::Arc::new(InductionLm::paper(0));
         let space = d.space();
         let examples: Vec<(Config, f64)> = (0..5)
             .map(|i| {
@@ -391,9 +436,7 @@ mod tests {
         // format fragility the paper reports), so proposals are Options;
         // across a handful of seeds at least one must parse.
         let parsed: Vec<_> = (0..8)
-            .filter_map(|seed| {
-                propose_candidate(&model, space, d.size(), &examples, target, seed)
-            })
+            .filter_map(|seed| propose_candidate(&model, space, d.size(), &examples, target, seed))
             .collect();
         assert!(!parsed.is_empty(), "no proposal parsed across 8 seeds");
         assert!(parsed.iter().all(|c| c.len() == space.num_params()));
@@ -404,7 +447,7 @@ mod tests {
         // Forking one prefilled session per seed must decode exactly what a
         // fresh per-seed session over the same prompt decodes.
         let d = sm();
-        let model = InductionLm::paper(0);
+        let model = std::sync::Arc::new(InductionLm::paper(0));
         let space = d.space();
         let examples: Vec<(Config, f64)> = (0..5)
             .map(|i| {
@@ -414,21 +457,17 @@ mod tests {
             .collect();
         let target = examples[2].1;
         let seeds = [0u64, 1, 2, 3];
-        let batch =
-            propose_candidates(&model, space, d.size(), &examples, target, &seeds);
+        let batch = propose_candidates(&model, space, d.size(), &examples, target, &seeds);
         assert_eq!(batch.len(), seeds.len());
         for (&seed, proposal) in seeds.iter().zip(&batch) {
-            let single =
-                propose_candidate(&model, space, d.size(), &examples, target, seed);
+            let single = propose_candidate(&model, space, d.size(), &examples, target, seed);
             assert_eq!(&single, proposal, "seed {seed}");
         }
         let b = RuntimeBuckets::from_dataset(&d, 3);
         let query = space.config_at(7_777);
-        let classes =
-            predict_classes(&model, space, d.size(), &b, &examples, &query, &seeds);
+        let classes = predict_classes(&model, space, d.size(), &b, &examples, &query, &seeds);
         for (&seed, class) in seeds.iter().zip(&classes) {
-            let single =
-                predict_class(&model, space, d.size(), &b, &examples, &query, seed);
+            let single = predict_class(&model, space, d.size(), &b, &examples, &query, seed);
             assert_eq!(&single, class, "seed {seed}");
         }
     }
@@ -437,7 +476,7 @@ mod tests {
     fn classification_evaluation_reports_sane_numbers() {
         let d = sm();
         let b = RuntimeBuckets::from_dataset(&d, 3);
-        let model = InductionLm::paper(0);
+        let model = std::sync::Arc::new(InductionLm::paper(0));
         let report = evaluate_classification(&model, &d, &b, 5, 4, 9);
         assert_eq!(report.n, 4);
         assert!((0.0..=1.0).contains(&report.valid_fraction));

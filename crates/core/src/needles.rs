@@ -85,7 +85,12 @@ pub fn llm_needles(
         within_10pct: report(1, kind),
         within_1pct: report(2, kind),
     };
-    LlmNeedles { sampled: mk(0), oracle: mk(1), mass: mk(2), n }
+    LlmNeedles {
+        sampled: mk(0),
+        oracle: mk(1),
+        mass: mk(2),
+        n,
+    }
 }
 
 #[cfg(test)]

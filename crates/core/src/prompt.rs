@@ -105,7 +105,11 @@ impl PromptBuilder {
     /// Builder for one configuration space and array size (decimal values,
     /// as in the paper's prompts).
     pub fn new(space: ConfigSpace, size: ArraySize) -> Self {
-        Self { space, size, format: ValueFormat::Decimal }
+        Self {
+            space,
+            size,
+            format: ValueFormat::Decimal,
+        }
     }
 
     /// Use a different value rendering (the §V-B format study).
@@ -279,7 +283,10 @@ mod tests {
         let b = PromptBuilder::new(syr2k_space(), ArraySize::XL);
         let p = b.discriminative_transfer(&[fig1_example()], ArraySize::SM, &fig1_query());
         assert!(p.user.contains("size is SM"), "examples keep their size");
-        assert!(p.user.contains("For size 'XL'"), "description uses the query size");
+        assert!(
+            p.user.contains("For size 'XL'"),
+            "description uses the query size"
+        );
         assert!(p.user.ends_with("inner_loop_tiling_factor is 80"));
         let count_xl = p.user.matches("size is XL").count();
         assert_eq!(count_xl, 1, "only the query line is XL");

@@ -77,14 +77,18 @@ impl TokenStatsTable {
         } else {
             (0.0, 0.0)
         };
-        Self { rows, permutations_mean: pm, permutations_std: ps, n }
+        Self {
+            rows,
+            permutations_mean: pm,
+            permutations_std: ps,
+            n,
+        }
     }
 
     /// Render as an aligned text table in the paper's layout.
     pub fn render(&self) -> String {
-        let mut out = String::from(
-            "position        mean_possibilities  std_possibilities  samples\n",
-        );
+        let mut out =
+            String::from("position        mean_possibilities  std_possibilities  samples\n");
         for r in &self.rows {
             out.push_str(&format!(
                 "{:<15} {:>18.3} {:>18.3} {:>8}\n",
@@ -112,7 +116,10 @@ mod tests {
             chosen: 0,
             chosen_prob: 1.0,
             alternatives: (0..n_alts as u32)
-                .map(|id| TokenAlt { id, prob: 1.0 / n_alts as f32 })
+                .map(|id| TokenAlt {
+                    id,
+                    prob: 1.0 / n_alts as f32,
+                })
                 .collect(),
         }
     }
@@ -129,17 +136,17 @@ mod tests {
     fn aggregates_aligned_positions() {
         let t1 = trace(&[4, 1, 300]);
         let t2 = trace(&[2, 1, 500, 10]);
-        let table = TokenStatsTable::aggregate([
-            (&t1, Some(0..3)),
-            (&t2, Some(0..4)),
-        ]);
+        let table = TokenStatsTable::aggregate([(&t1, Some(0..3)), (&t2, Some(0..4))]);
         assert_eq!(table.n, 2);
         assert_eq!(table.rows.len(), 4);
         assert_eq!(table.rows[0].samples, 2);
         assert!((table.rows[0].mean - 3.0).abs() < 1e-12);
         assert_eq!(table.rows[1].mean, 1.0);
         assert_eq!(table.rows[1].std, 0.0, "period position has no variance");
-        assert_eq!(table.rows[3].samples, 1, "deeper positions have fewer samples");
+        assert_eq!(
+            table.rows[3].samples, 1,
+            "deeper positions have fewer samples"
+        );
         // permutations: 4*1*300 = 1200 and 2*1*500*10 = 10000
         assert!((table.permutations_mean - 5600.0).abs() < 1e-9);
     }

@@ -51,7 +51,11 @@ impl Gbdt {
     /// Panics on empty data, length mismatch, or sampling fractions
     /// outside `(0, 1]`.
     pub fn fit(features: &[Vec<f64>], targets: &[f64], params: GbdtParams, seed: u64) -> Self {
-        assert_eq!(features.len(), targets.len(), "features/targets length mismatch");
+        assert_eq!(
+            features.len(),
+            targets.len(),
+            "features/targets length mismatch"
+        );
         assert!(!features.is_empty(), "cannot fit on empty data");
         assert!(
             params.subsample > 0.0 && params.subsample <= 1.0,
@@ -72,8 +76,7 @@ impl Gbdt {
         let all_rows: Vec<usize> = (0..n).collect();
         let all_feats: Vec<usize> = (0..n_features).collect();
         let n_sub = ((n as f64 * params.subsample).round() as usize).clamp(1, n);
-        let n_col =
-            ((n_features as f64 * params.colsample).round() as usize).clamp(1, n_features);
+        let n_col = ((n_features as f64 * params.colsample).round() as usize).clamp(1, n_features);
 
         for _ in 0..params.n_estimators {
             for i in 0..n {
@@ -101,18 +104,17 @@ impl Gbdt {
             }
             trees.push(tree);
         }
-        Self { params, base, trees }
+        Self {
+            params,
+            base,
+            trees,
+        }
     }
 
     /// Predict one feature row.
     pub fn predict_row(&self, row: &[f64]) -> f64 {
         self.base
-            + self.params.learning_rate
-                * self
-                    .trees
-                    .iter()
-                    .map(|t| t.predict_row(row))
-                    .sum::<f64>()
+            + self.params.learning_rate * self.trees.iter().map(|t| t.predict_row(row)).sum::<f64>()
     }
 
     /// Predict a batch of rows.
@@ -192,7 +194,15 @@ mod tests {
     #[test]
     fn zero_trees_predicts_the_mean() {
         let (x, y) = toy_nonlinear(100);
-        let model = Gbdt::fit(&x, &y, GbdtParams { n_estimators: 0, ..Default::default() }, 0);
+        let model = Gbdt::fit(
+            &x,
+            &y,
+            GbdtParams {
+                n_estimators: 0,
+                ..Default::default()
+            },
+            0,
+        );
         let mean = y.iter().sum::<f64>() / y.len() as f64;
         assert_eq!(model.n_trees(), 0);
         assert!((model.predict_row(&x[0]) - mean).abs() < 1e-12);
@@ -205,7 +215,11 @@ mod tests {
             let m = Gbdt::fit(
                 &x,
                 &y,
-                GbdtParams { n_estimators: rounds, learning_rate: 0.1, ..Default::default() },
+                GbdtParams {
+                    n_estimators: rounds,
+                    learning_rate: 0.1,
+                    ..Default::default()
+                },
                 0,
             );
             let pred = m.predict(&x);
@@ -216,13 +230,20 @@ mod tests {
         };
         let few = fit_err(5);
         let many = fit_err(100);
-        assert!(many < few * 0.5, "boosting should reduce error: {few} -> {many}");
+        assert!(
+            many < few * 0.5,
+            "boosting should reduce error: {few} -> {many}"
+        );
     }
 
     #[test]
     fn stochastic_fit_is_deterministic_per_seed() {
         let (x, y) = toy_nonlinear(300);
-        let params = GbdtParams { subsample: 0.7, colsample: 0.67, ..Default::default() };
+        let params = GbdtParams {
+            subsample: 0.7,
+            colsample: 0.67,
+            ..Default::default()
+        };
         let a = Gbdt::fit(&x, &y, params, 42);
         let b = Gbdt::fit(&x, &y, params, 42);
         let c = Gbdt::fit(&x, &y, params, 43);
@@ -233,7 +254,11 @@ mod tests {
     #[test]
     fn subsampled_fit_still_learns() {
         let (x, y) = toy_nonlinear(1200);
-        let params = GbdtParams { subsample: 0.5, colsample: 0.67, ..Default::default() };
+        let params = GbdtParams {
+            subsample: 0.5,
+            colsample: 0.67,
+            ..Default::default()
+        };
         let m = Gbdt::fit(&x, &y, params, 7);
         let r2 = r2_score(&m.predict(&x), &y);
         assert!(r2 > 0.95, "stochastic R2 {r2}");

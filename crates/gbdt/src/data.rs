@@ -47,7 +47,12 @@ impl DMatrix {
             .zip(&edges)
             .map(|(col, e)| col.iter().map(|&v| bin_of(e, v)).collect())
             .collect();
-        Self { n_rows, columns, edges, bins }
+        Self {
+            n_rows,
+            columns,
+            edges,
+            bins,
+        }
     }
 
     /// Number of rows.

@@ -45,9 +45,8 @@ impl Default for SearchSpace {
 impl SearchSpace {
     /// Draw one candidate parameter set.
     pub fn draw<R: RngExt + ?Sized>(&self, rng: &mut R) -> GbdtParams {
-        let log_uniform = |rng: &mut R, (lo, hi): (f64, f64)| {
-            (rng.random_range(lo.ln()..=hi.ln())).exp()
-        };
+        let log_uniform =
+            |rng: &mut R, (lo, hi): (f64, f64)| (rng.random_range(lo.ln()..=hi.ln())).exp();
         GbdtParams {
             n_estimators: rng.random_range(self.n_estimators.0..=self.n_estimators.1),
             learning_rate: log_uniform(rng, self.learning_rate),
@@ -113,8 +112,17 @@ pub fn random_search(
     full_x.extend_from_slice(val_x);
     let mut full_y: Vec<f64> = train_y.to_vec();
     full_y.extend_from_slice(val_y);
-    let model = Gbdt::fit(&full_x, &full_y, candidates[best_idx], seed ^ (best_idx as u64));
-    SearchResult { model, val_r2, iterations }
+    let model = Gbdt::fit(
+        &full_x,
+        &full_y,
+        candidates[best_idx],
+        seed ^ (best_idx as u64),
+    );
+    SearchResult {
+        model,
+        val_r2,
+        iterations,
+    }
 }
 
 #[cfg(test)]
@@ -125,7 +133,10 @@ mod tests {
         let rows: Vec<Vec<f64>> = (0..n)
             .map(|i| vec![(i % 23) as f64 / 23.0, ((i / 23) % 19) as f64 / 19.0])
             .collect();
-        let y: Vec<f64> = rows.iter().map(|r| (6.0 * r[0]).sin() + r[1] * r[1]).collect();
+        let y: Vec<f64> = rows
+            .iter()
+            .map(|r| (6.0 * r[0]).sin() + r[1] * r[1])
+            .collect();
         (rows, y)
     }
 
@@ -155,7 +166,10 @@ mod tests {
             ty,
             GbdtParams {
                 n_estimators: 5,
-                tree: TreeParams { max_depth: 1, ..Default::default() },
+                tree: TreeParams {
+                    max_depth: 1,
+                    ..Default::default()
+                },
                 ..Default::default()
             },
             0,

@@ -22,7 +22,11 @@ pub struct TreeParams {
 
 impl Default for TreeParams {
     fn default() -> Self {
-        Self { max_depth: 6, min_samples_leaf: 1, min_gain: 1e-12 }
+        Self {
+            max_depth: 6,
+            min_samples_leaf: 1,
+            min_gain: 1e-12,
+        }
     }
 }
 
@@ -172,7 +176,11 @@ impl Tree {
                         + right_sum * right_sum / right_count as f64
                         - parent_score;
                     if best.as_ref().is_none_or(|s| gain > s.gain) {
-                        best = Some(BestSplit { feature: f, bin: b, gain });
+                        best = Some(BestSplit {
+                            feature: f,
+                            bin: b,
+                            gain,
+                        });
                     }
                 }
                 best
@@ -192,8 +200,18 @@ impl Tree {
         loop {
             match &self.nodes[i] {
                 Node::Leaf { value } => return *value,
-                Node::Split { feature, threshold, left, right, .. } => {
-                    i = if row[*feature] <= *threshold { *left } else { *right };
+                Node::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                    ..
+                } => {
+                    i = if row[*feature] <= *threshold {
+                        *left
+                    } else {
+                        *right
+                    };
                 }
             }
         }
@@ -277,7 +295,14 @@ mod tests {
     fn single_split_recovers_a_step_function() {
         let rows: Vec<Vec<f64>> = (0..20).map(|i| vec![i as f64]).collect();
         let y: Vec<f64> = (0..20).map(|i| if i < 10 { 1.0 } else { 5.0 }).collect();
-        let t = fit_all(&rows, &y, TreeParams { max_depth: 1, ..Default::default() });
+        let t = fit_all(
+            &rows,
+            &y,
+            TreeParams {
+                max_depth: 1,
+                ..Default::default()
+            },
+        );
         assert_eq!(t.depth(), 1);
         assert_eq!(t.n_leaves(), 2);
         assert!((t.predict_row(&[3.0]) - 1.0).abs() < 1e-12);
@@ -288,7 +313,14 @@ mod tests {
     fn deep_tree_fits_training_data_exactly() {
         let rows: Vec<Vec<f64>> = (0..32).map(|i| vec![i as f64]).collect();
         let y: Vec<f64> = (0..32).map(|i| ((i * 7) % 13) as f64).collect();
-        let t = fit_all(&rows, &y, TreeParams { max_depth: 10, ..Default::default() });
+        let t = fit_all(
+            &rows,
+            &y,
+            TreeParams {
+                max_depth: 10,
+                ..Default::default()
+            },
+        );
         for (r, &target) in rows.iter().zip(&y) {
             assert!((t.predict_row(r) - target).abs() < 1e-9);
         }
@@ -298,7 +330,14 @@ mod tests {
     fn depth_zero_is_the_mean() {
         let rows: Vec<Vec<f64>> = (0..4).map(|i| vec![i as f64]).collect();
         let y = [1.0, 2.0, 3.0, 6.0];
-        let t = fit_all(&rows, &y, TreeParams { max_depth: 0, ..Default::default() });
+        let t = fit_all(
+            &rows,
+            &y,
+            TreeParams {
+                max_depth: 0,
+                ..Default::default()
+            },
+        );
         assert!(t.is_empty());
         assert!((t.predict_row(&[0.0]) - 3.0).abs() < 1e-12);
     }
@@ -310,7 +349,11 @@ mod tests {
         let t = fit_all(
             &rows,
             &y,
-            TreeParams { max_depth: 10, min_samples_leaf: 5, min_gain: 1e-12 },
+            TreeParams {
+                max_depth: 10,
+                min_samples_leaf: 5,
+                min_gain: 1e-12,
+            },
         );
         // With min 5 per leaf on 10 rows, only one split is possible.
         assert!(t.n_leaves() <= 2);
@@ -321,7 +364,14 @@ mod tests {
         // Feature 0 is noise-free signal; feature 1 is constant.
         let rows: Vec<Vec<f64>> = (0..16).map(|i| vec![i as f64, 1.0]).collect();
         let y: Vec<f64> = (0..16).map(|i| if i < 8 { 0.0 } else { 1.0 }).collect();
-        let t = fit_all(&rows, &y, TreeParams { max_depth: 1, ..Default::default() });
+        let t = fit_all(
+            &rows,
+            &y,
+            TreeParams {
+                max_depth: 1,
+                ..Default::default()
+            },
+        );
         match &t.nodes[0] {
             Node::Split { feature, .. } => assert_eq!(*feature, 0),
             n => panic!("expected a split, got {n:?}"),
@@ -345,9 +395,26 @@ mod tests {
         let rows: Vec<Vec<f64>> = (0..100)
             .map(|i| vec![(i % 2) as f64, ((i / 2) % 2) as f64])
             .collect();
-        let y: Vec<f64> = rows.iter().map(|r| r[0] + r[1] + 2.0 * r[0] * r[1]).collect();
-        let shallow = fit_all(&rows, &y, TreeParams { max_depth: 1, ..Default::default() });
-        let deep = fit_all(&rows, &y, TreeParams { max_depth: 2, ..Default::default() });
+        let y: Vec<f64> = rows
+            .iter()
+            .map(|r| r[0] + r[1] + 2.0 * r[0] * r[1])
+            .collect();
+        let shallow = fit_all(
+            &rows,
+            &y,
+            TreeParams {
+                max_depth: 1,
+                ..Default::default()
+            },
+        );
+        let deep = fit_all(
+            &rows,
+            &y,
+            TreeParams {
+                max_depth: 2,
+                ..Default::default()
+            },
+        );
         let err = |t: &Tree| {
             rows.iter()
                 .zip(&y)

@@ -23,6 +23,6 @@ pub mod sweep;
 pub mod syr2k;
 
 pub use arrays::Matrix;
-pub use measure::{measure, Measurement, MeasureSpec};
-pub use syr2k::Syr2kProblem;
+pub use measure::{measure, MeasureSpec, Measurement};
 pub use sweep::{sweep, SweepResult};
+pub use syr2k::Syr2kProblem;

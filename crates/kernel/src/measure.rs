@@ -17,7 +17,10 @@ pub struct MeasureSpec {
 
 impl Default for MeasureSpec {
     fn default() -> Self {
-        Self { warmups: 1, repeats: 3 }
+        Self {
+            warmups: 1,
+            repeats: 3,
+        }
     }
 }
 
@@ -85,7 +88,13 @@ mod tests {
 
     #[test]
     fn collects_requested_samples() {
-        let (m, out) = measure(MeasureSpec { warmups: 2, repeats: 5 }, || 41 + 1);
+        let (m, out) = measure(
+            MeasureSpec {
+                warmups: 2,
+                repeats: 5,
+            },
+            || 41 + 1,
+        );
         assert_eq!(m.samples.len(), 5);
         assert_eq!(out, 42);
         assert!(m.samples.iter().all(|&s| s >= 0.0));
@@ -93,7 +102,9 @@ mod tests {
 
     #[test]
     fn statistics_are_consistent() {
-        let m = Measurement { samples: vec![3.0, 1.0, 2.0] };
+        let m = Measurement {
+            samples: vec![3.0, 1.0, 2.0],
+        };
         assert_eq!(m.min(), 1.0);
         assert_eq!(m.max(), 3.0);
         assert_eq!(m.median(), 2.0);
@@ -102,21 +113,35 @@ mod tests {
 
     #[test]
     fn even_length_median_averages() {
-        let m = Measurement { samples: vec![1.0, 2.0, 3.0, 10.0] };
+        let m = Measurement {
+            samples: vec![1.0, 2.0, 3.0, 10.0],
+        };
         assert_eq!(m.median(), 2.5);
     }
 
     #[test]
     fn workload_actually_runs_warmups_plus_repeats() {
         let mut calls = 0;
-        let _ = measure(MeasureSpec { warmups: 3, repeats: 2 }, || calls += 1);
+        let _ = measure(
+            MeasureSpec {
+                warmups: 3,
+                repeats: 2,
+            },
+            || calls += 1,
+        );
         assert_eq!(calls, 5);
     }
 
     #[test]
     #[should_panic(expected = "at least one")]
     fn zero_repeats_rejected() {
-        let _ = measure(MeasureSpec { warmups: 0, repeats: 0 }, || ());
+        let _ = measure(
+            MeasureSpec {
+                warmups: 0,
+                repeats: 0,
+            },
+            || (),
+        );
     }
 
     #[test]
@@ -131,8 +156,20 @@ mod tests {
                 acc
             }
         };
-        let (short, _) = measure(MeasureSpec { warmups: 1, repeats: 3 }, busy(10_000));
-        let (long, _) = measure(MeasureSpec { warmups: 1, repeats: 3 }, busy(10_000_000));
+        let (short, _) = measure(
+            MeasureSpec {
+                warmups: 1,
+                repeats: 3,
+            },
+            busy(10_000),
+        );
+        let (long, _) = measure(
+            MeasureSpec {
+                warmups: 1,
+                repeats: 3,
+            },
+            busy(10_000_000),
+        );
         assert!(long.median() > short.median());
     }
 }

@@ -70,7 +70,15 @@ mod tests {
     #[test]
     fn sweep_covers_all_configs_in_order() {
         let p = Syr2kProblem::new(10, 12);
-        let res = sweep(&p, &configs(), MeasureSpec { warmups: 0, repeats: 1 }, false);
+        let res = sweep(
+            &p,
+            &configs(),
+            MeasureSpec {
+                warmups: 0,
+                repeats: 1,
+            },
+            false,
+        );
         assert_eq!(res.len(), 4);
         for (r, c) in res.iter().zip(configs()) {
             assert_eq!(r.config, c);
@@ -81,7 +89,15 @@ mod tests {
     #[test]
     fn all_configs_compute_the_same_checksum() {
         let p = Syr2kProblem::new(10, 12);
-        let res = sweep(&p, &configs(), MeasureSpec { warmups: 0, repeats: 1 }, false);
+        let res = sweep(
+            &p,
+            &configs(),
+            MeasureSpec {
+                warmups: 0,
+                repeats: 1,
+            },
+            false,
+        );
         let base = res[0].checksum;
         for r in &res {
             assert!((r.checksum - base).abs() / base.abs() < 1e-12);
@@ -91,7 +107,10 @@ mod tests {
     #[test]
     fn parallel_matches_sequential_results() {
         let p = Syr2kProblem::new(10, 12);
-        let spec = MeasureSpec { warmups: 0, repeats: 1 };
+        let spec = MeasureSpec {
+            warmups: 0,
+            repeats: 1,
+        };
         let seq = sweep(&p, &configs(), spec, false);
         let par = sweep(&p, &configs(), spec, true);
         assert_eq!(seq.len(), par.len());

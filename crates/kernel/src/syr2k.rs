@@ -56,8 +56,8 @@ impl Syr2kProblem {
                 let bij = self.b[(i, j)];
                 let aij = self.a[(i, j)];
                 for k in 0..=i {
-                    c[(i, k)] += self.a[(k, j)] * self.alpha * bij
-                        + self.b[(k, j)] * self.alpha * aij;
+                    c[(i, k)] +=
+                        self.a[(k, j)] * self.alpha * bij + self.b[(k, j)] * self.alpha * aij;
                 }
             }
         }
@@ -120,9 +120,7 @@ impl Syr2kProblem {
                                 let arow = &at.row(j)[kt..k_hi];
                                 let brow = &bt.row(j)[kt..k_hi];
                                 let crow = &mut c.data_mut()[i * n + kt..i * n + k_hi];
-                                for ((cv, &akj), &bkj) in
-                                    crow.iter_mut().zip(arow).zip(brow)
-                                {
+                                for ((cv, &akj), &bkj) in crow.iter_mut().zip(arow).zip(brow) {
                                     *cv += akj * alpha * bij + bkj * alpha * aij;
                                 }
                             }
@@ -130,22 +128,20 @@ impl Syr2kProblem {
                                 let arow = &at.row(j)[kt..k_hi];
                                 for (off, &akj) in arow.iter().enumerate() {
                                     let k = kt + off;
-                                    c[(i, k)] +=
-                                        akj * alpha * bij + self.b[(k, j)] * alpha * aij;
+                                    c[(i, k)] += akj * alpha * bij + self.b[(k, j)] * alpha * aij;
                                 }
                             }
                             (None, Some(bt)) => {
                                 let brow = &bt.row(j)[kt..k_hi];
                                 for (off, &bkj) in brow.iter().enumerate() {
                                     let k = kt + off;
-                                    c[(i, k)] +=
-                                        self.a[(k, j)] * alpha * bij + bkj * alpha * aij;
+                                    c[(i, k)] += self.a[(k, j)] * alpha * bij + bkj * alpha * aij;
                                 }
                             }
                             (None, None) => {
                                 for k in kt..k_hi {
-                                    c[(i, k)] += self.a[(k, j)] * alpha * bij
-                                        + self.b[(k, j)] * alpha * aij;
+                                    c[(i, k)] +=
+                                        self.a[(k, j)] * alpha * bij + self.b[(k, j)] * alpha * aij;
                                 }
                             }
                         }

@@ -1,7 +1,7 @@
 //! Guidance-style constrained decoding (§V-B).
 //!
 //! The paper's discussion of output-format mitigation: "techniques such as
-//! Langchain and Guidance... can be effective, [but] the former often limit
+//! Langchain and Guidance... can be effective, \[but\] the former often limit
 //! outputs in manners that may be destructive to task success". This module
 //! implements the Guidance approach for the runtime-value grammar: a logit
 //! mask that only admits tokens continuing a well-formed
@@ -10,6 +10,7 @@
 //! two-digit integer part), which is exactly the destructiveness the paper
 //! warns about.
 
+use crate::error::LmError;
 use crate::generate::GenerateSpec;
 use crate::induction::prior::{value_state, ValueState};
 use crate::model::LanguageModel;
@@ -17,6 +18,7 @@ use crate::sampler::Sampler;
 use crate::trace::{GenStep, GenerationTrace, TokenAlt};
 use lmpeel_stats::{seeded_rng, SeedDomain};
 use lmpeel_tokenizer::{TokenId, Tokenizer};
+use std::sync::Arc;
 
 /// A logit mask applied before sampling at each step.
 pub trait LogitConstraint {
@@ -38,7 +40,10 @@ pub struct ValueGrammar {
 impl ValueGrammar {
     /// Grammar with the paper's 7-decimal format.
     pub fn paper(stop_tokens: Vec<TokenId>) -> Self {
-        Self { target_decimals: 7, stop_tokens }
+        Self {
+            target_decimals: 7,
+            stop_tokens,
+        }
     }
 
     fn allow_only<F: Fn(TokenId, &str) -> bool>(
@@ -93,16 +98,21 @@ impl LogitConstraint for ValueGrammar {
 
 /// The decoding loop with a [`LogitConstraint`] applied at every step.
 /// Identical trace semantics to [`crate::generate::generate`], over the
-/// constrained distribution. Drives an incremental [`DecodeSession`], so
+/// constrained distribution. Drives an incremental [`DecodeSession`](crate::DecodeSession), so
 /// the constraint's mask is the only per-step full-vocabulary pass.
-pub fn generate_constrained<M: LanguageModel, C: LogitConstraint>(
-    model: &M,
+pub fn generate_constrained<M, C>(
+    model: &Arc<M>,
     prompt: &[TokenId],
     spec: &GenerateSpec,
     constraint: &C,
-) -> GenerationTrace {
+) -> Result<GenerationTrace, LmError>
+where
+    M: LanguageModel + ?Sized,
+    C: LogitConstraint,
+{
+    spec.validate()?;
     let mut rng = seeded_rng(spec.seed, SeedDomain::Sampling(prompt.len() as u64));
-    let mut session = model.session();
+    let mut session = Arc::clone(model).session();
     session.extend(prompt);
     let mut steps = Vec::new();
     let mut stopped_naturally = false;
@@ -111,8 +121,15 @@ pub fn generate_constrained<M: LanguageModel, C: LogitConstraint>(
     for _ in 0..spec.max_tokens {
         let mut logits = session.logits();
         constraint.mask(session.tokens(), tokenizer, &mut logits);
-        let trace_sampler = Sampler { temperature: 1.0, top_k: 0, top_p: 1.0 };
+        let trace_sampler = Sampler {
+            temperature: 1.0,
+            top_k: 0,
+            top_p: 1.0,
+        };
         let dist = trace_sampler.distribution(&logits);
+        if dist.is_empty() {
+            return Err(LmError::EmptyVocab);
+        }
         let (chosen, chosen_prob) = spec.sampler.sample(&logits, &mut rng);
         if spec.stop_tokens.contains(&chosen) {
             stopped_naturally = true;
@@ -123,10 +140,18 @@ pub fn generate_constrained<M: LanguageModel, C: LogitConstraint>(
             .filter(|&(_, p)| p >= spec.trace_min_prob)
             .map(|(id, prob)| TokenAlt { id, prob })
             .collect();
-        steps.push(GenStep { chosen, chosen_prob, alternatives });
+        steps.push(GenStep {
+            chosen,
+            chosen_prob,
+            alternatives,
+        });
         session.append(chosen);
     }
-    GenerationTrace { prompt_len: prompt.len(), steps, stopped_naturally }
+    Ok(GenerationTrace {
+        prompt_len: prompt.len(),
+        steps,
+        stopped_naturally,
+    })
 }
 
 #[cfg(test)]
@@ -135,8 +160,8 @@ mod tests {
     use crate::induction::InductionLm;
     use lmpeel_tokenizer::EOS;
 
-    fn setup() -> (InductionLm, Vec<TokenId>, ValueGrammar) {
-        let model = InductionLm::paper(0);
+    fn setup() -> (Arc<InductionLm>, Vec<TokenId>, ValueGrammar) {
+        let model = Arc::new(InductionLm::paper(0));
         let tok = model.tokenizer();
         let stops = vec![tok.vocab().token_id("\n").unwrap(), tok.special(EOS)];
         let prompt = tok.encode(
@@ -154,7 +179,7 @@ mod tests {
                 stop_tokens: grammar.stop_tokens.clone(),
                 ..GenerateSpec::paper(seed)
             };
-            let trace = generate_constrained(&model, &prompt, &spec, &grammar);
+            let trace = generate_constrained(&model, &prompt, &spec, &grammar).unwrap();
             let text = trace.decode(model.tokenizer());
             let text = text.trim();
             assert!(
@@ -163,7 +188,10 @@ mod tests {
             );
             let frac = text.split('.').nth(1).expect("has a fraction");
             assert_eq!(frac.len(), 7, "seed {seed}: exactly 7 decimals: {text:?}");
-            assert!(trace.stopped_naturally, "seed {seed}: must stop on the grammar");
+            assert!(
+                trace.stopped_naturally,
+                "seed {seed}: must stop on the grammar"
+            );
         }
     }
 
@@ -223,8 +251,8 @@ mod tests {
             stop_tokens: grammar.stop_tokens.clone(),
             ..GenerateSpec::paper(0)
         };
-        let plain = crate::generate::generate(&model, &prompt, &spec);
-        let constrained = generate_constrained(&model, &prompt, &spec, &grammar);
+        let plain = crate::generate::generate(&model, &prompt, &spec).unwrap();
+        let constrained = generate_constrained(&model, &prompt, &spec, &grammar).unwrap();
         assert_eq!(
             plain.decode(model.tokenizer()),
             constrained.decode(model.tokenizer())

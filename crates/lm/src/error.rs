@@ -1,0 +1,82 @@
+//! Error surface of the decoding loops.
+//!
+//! Before the serve redesign the generation entry points panicked on
+//! malformed inputs (empty vocabulary, zero token budget). A panic is
+//! acceptable inside a one-shot experiment binary but not inside a
+//! long-lived inference service, where a single bad request must become a
+//! rejected response rather than a dead scheduler thread. Every decoding
+//! entry point therefore returns `Result<_, LmError>` and the service maps
+//! the error onto the request's response handle.
+
+use std::fmt;
+
+/// Hard ceiling on `max_tokens` a single generation may request.
+///
+/// The paper's longest generations are 96 tokens (candidate proposals);
+/// this bound exists so one malformed request cannot pin the scheduler in
+/// an effectively unbounded decode loop.
+pub const MAX_TOKEN_BUDGET: usize = 16_384;
+
+/// Everything that can go wrong while building a spec or running a decode
+/// loop.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LmError {
+    /// The model returned an empty logit vector, or one with no feasible
+    /// token (all `-inf`): there is nothing to sample.
+    EmptyVocab,
+    /// `max_tokens == 0`: the request could never produce a step.
+    ZeroMaxTokens,
+    /// `max_tokens` exceeded [`MAX_TOKEN_BUDGET`].
+    BudgetExhausted {
+        /// Tokens the spec asked for.
+        requested: usize,
+        /// The ceiling that rejected it.
+        budget: usize,
+    },
+    /// A spec field failed validation (non-finite probability threshold,
+    /// negative temperature, ...). The payload says which.
+    InvalidSpec(String),
+}
+
+impl fmt::Display for LmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LmError::EmptyVocab => {
+                write!(
+                    f,
+                    "model produced no feasible next token (empty vocabulary)"
+                )
+            }
+            LmError::ZeroMaxTokens => write!(f, "max_tokens must be at least 1"),
+            LmError::BudgetExhausted { requested, budget } => {
+                write!(
+                    f,
+                    "max_tokens {requested} exceeds the token budget {budget}"
+                )
+            }
+            LmError::InvalidSpec(why) => write!(f, "invalid generation spec: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for LmError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = LmError::BudgetExhausted {
+            requested: 99_999,
+            budget: MAX_TOKEN_BUDGET,
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("99999"));
+        assert!(msg.contains("16384"));
+        assert!(LmError::EmptyVocab.to_string().contains("vocabulary"));
+        assert!(LmError::InvalidSpec("bad".into())
+            .to_string()
+            .contains("bad"));
+    }
+}

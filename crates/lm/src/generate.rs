@@ -6,29 +6,43 @@
 //! substrates with native sessions decode in O(context) per step instead of
 //! recomputing the whole context. Models without a native session fall back
 //! to [`crate::session::FallbackSession`] and behave exactly as before.
+//!
+//! Two drivers share one step function: [`generate_session`] runs a decode
+//! to completion in a loop, and [`GenerationStepper`] exposes the *same*
+//! loop one token at a time so the serve crate's scheduler can interleave
+//! many in-flight generations. Because both call `decode_step` with
+//! identically-seeded RNG state, a stepped generation is byte-identical to
+//! a sequential one by construction.
 
+use crate::error::{LmError, MAX_TOKEN_BUDGET};
 use crate::model::LanguageModel;
 use crate::sampler::Sampler;
 use crate::session::DecodeSession;
 use crate::trace::{GenStep, GenerationTrace, TokenAlt};
 use lmpeel_stats::{seeded_rng, SeedDomain};
 use lmpeel_tokenizer::TokenId;
+use rand_chacha::ChaCha8Rng;
+use std::sync::Arc;
 
 /// Generation parameters.
+///
+/// Construct via [`GenerateSpec::paper`] or [`GenerateSpec::builder`]; the
+/// fields are private outside this crate so every externally-built spec has
+/// passed [`GenerateSpecBuilder::build`] validation.
 #[derive(Debug, Clone, PartialEq)]
 pub struct GenerateSpec {
     /// Sampling policy.
-    pub sampler: Sampler,
+    pub(crate) sampler: Sampler,
     /// Hard cap on generated tokens.
-    pub max_tokens: usize,
+    pub(crate) max_tokens: usize,
     /// Tokens that end generation (sampled stop token is *not* included in
     /// the trace's steps).
-    pub stop_tokens: Vec<TokenId>,
+    pub(crate) stop_tokens: Vec<TokenId>,
     /// Minimum probability for an alternative to be recorded in the trace
     /// (the "nonzero logit" cutoff of §III-C).
-    pub trace_min_prob: f32,
+    pub(crate) trace_min_prob: f32,
     /// Sampling seed (the paper evaluates each prompt with three seeds).
-    pub seed: u64,
+    pub(crate) seed: u64,
 }
 
 impl GenerateSpec {
@@ -42,16 +56,185 @@ impl GenerateSpec {
             seed,
         }
     }
+
+    /// Start building a spec from neutral defaults (paper sampler, 24
+    /// tokens, no stop tokens, 1e-3 trace floor, seed 0).
+    pub fn builder() -> GenerateSpecBuilder {
+        GenerateSpecBuilder {
+            spec: GenerateSpec::paper(0),
+        }
+    }
+
+    /// Re-open this spec as a builder to derive a modified copy.
+    pub fn to_builder(&self) -> GenerateSpecBuilder {
+        GenerateSpecBuilder { spec: self.clone() }
+    }
+
+    /// The sampling policy.
+    pub fn sampler(&self) -> &Sampler {
+        &self.sampler
+    }
+
+    /// Hard cap on generated tokens.
+    pub fn max_tokens(&self) -> usize {
+        self.max_tokens
+    }
+
+    /// Tokens that end generation early.
+    pub fn stop_tokens(&self) -> &[TokenId] {
+        &self.stop_tokens
+    }
+
+    /// Minimum probability for a trace alternative to be recorded.
+    pub fn trace_min_prob(&self) -> f32 {
+        self.trace_min_prob
+    }
+
+    /// The sampling seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The validation every decode entry point applies, shared with
+    /// [`GenerateSpecBuilder::build`] so in-crate literal construction is
+    /// held to the same rules as the builder.
+    pub(crate) fn validate(&self) -> Result<(), LmError> {
+        if self.max_tokens == 0 {
+            return Err(LmError::ZeroMaxTokens);
+        }
+        if self.max_tokens > MAX_TOKEN_BUDGET {
+            return Err(LmError::BudgetExhausted {
+                requested: self.max_tokens,
+                budget: MAX_TOKEN_BUDGET,
+            });
+        }
+        if !self.trace_min_prob.is_finite() || self.trace_min_prob < 0.0 {
+            return Err(LmError::InvalidSpec(format!(
+                "trace_min_prob must be finite and non-negative, got {}",
+                self.trace_min_prob
+            )));
+        }
+        let s = &self.sampler;
+        if !s.temperature.is_finite() || s.temperature < 0.0 {
+            return Err(LmError::InvalidSpec(format!(
+                "temperature must be finite and non-negative, got {}",
+                s.temperature
+            )));
+        }
+        if !s.top_p.is_finite() || s.top_p <= 0.0 || s.top_p > 1.0 {
+            return Err(LmError::InvalidSpec(format!(
+                "top_p must be in (0, 1], got {}",
+                s.top_p
+            )));
+        }
+        Ok(())
+    }
+}
+
+/// Builder for [`GenerateSpec`]; the only way to assemble a custom spec
+/// outside this crate. [`GenerateSpecBuilder::build`] validates the result.
+#[derive(Debug, Clone)]
+pub struct GenerateSpecBuilder {
+    spec: GenerateSpec,
+}
+
+impl GenerateSpecBuilder {
+    /// Set the sampling policy.
+    pub fn sampler(mut self, sampler: Sampler) -> Self {
+        self.spec.sampler = sampler;
+        self
+    }
+
+    /// Set the hard cap on generated tokens.
+    pub fn max_tokens(mut self, max_tokens: usize) -> Self {
+        self.spec.max_tokens = max_tokens;
+        self
+    }
+
+    /// Replace the stop-token set.
+    pub fn stop_tokens(mut self, stop_tokens: Vec<TokenId>) -> Self {
+        self.spec.stop_tokens = stop_tokens;
+        self
+    }
+
+    /// Add one stop token.
+    pub fn stop_token(mut self, token: TokenId) -> Self {
+        self.spec.stop_tokens.push(token);
+        self
+    }
+
+    /// Set the trace-recording probability floor.
+    pub fn trace_min_prob(mut self, p: f32) -> Self {
+        self.spec.trace_min_prob = p;
+        self
+    }
+
+    /// Set the sampling seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.spec.seed = seed;
+        self
+    }
+
+    /// Validate and return the spec.
+    pub fn build(self) -> Result<GenerateSpec, LmError> {
+        self.spec.validate()?;
+        Ok(self.spec)
+    }
+}
+
+/// One decode step over a session: record the raw distribution, sample,
+/// honor stop tokens, append. Returns `Ok(Some(step))` when a token was
+/// generated, `Ok(None)` when a stop token ended generation.
+///
+/// The trace records the *raw* softmax (temperature 1, no top-k/p) above
+/// the `trace_min_prob` floor — the paper logs "all generated nonzero logit
+/// values" before any sampling processors, and its central-decode analysis
+/// (§IV-C) only comes out wrong-side-up if the rare off-magnitude
+/// alternatives that sharpening and nucleus pruning would remove are kept
+/// in the haystack.
+fn decode_step(
+    session: &mut dyn DecodeSession,
+    spec: &GenerateSpec,
+    rng: &mut ChaCha8Rng,
+) -> Result<Option<GenStep>, LmError> {
+    let logits = session.logits();
+    let trace_sampler = Sampler {
+        temperature: 1.0,
+        top_k: 0,
+        top_p: 1.0,
+    };
+    let dist = trace_sampler.distribution(&logits);
+    if dist.is_empty() {
+        return Err(LmError::EmptyVocab);
+    }
+    let (chosen, chosen_prob) = spec.sampler.sample(&logits, rng);
+    if spec.stop_tokens.contains(&chosen) {
+        return Ok(None);
+    }
+    let alternatives: Vec<TokenAlt> = dist
+        .into_iter()
+        .filter(|&(_, p)| p >= spec.trace_min_prob)
+        .map(|(id, prob)| TokenAlt { id, prob })
+        .collect();
+    session.append(chosen);
+    Ok(Some(GenStep {
+        chosen,
+        chosen_prob,
+        alternatives,
+    }))
 }
 
 /// Run the decoding loop: sample up to `max_tokens` tokens, recording the
 /// full feasible distribution at every step.
-pub fn generate<M: LanguageModel>(
-    model: &M,
+///
+/// The model is taken as `&Arc<M>` because the session it spins up co-owns
+/// the model ([`LanguageModel::session`] takes `Arc<Self>`).
+pub fn generate<M: LanguageModel + ?Sized>(
+    model: &Arc<M>,
     prompt: &[TokenId],
     spec: &GenerateSpec,
-) -> GenerationTrace {
-    let mut session = model.session();
+) -> Result<GenerationTrace, LmError> {
+    let mut session = Arc::clone(model).session();
     session.extend(prompt);
     generate_session(&mut *session, spec)
 }
@@ -66,37 +249,122 @@ pub fn generate<M: LanguageModel>(
 /// by `(spec.seed, prompt length)`, every step records the raw softmax above
 /// `trace_min_prob`, and a sampled stop token ends generation without being
 /// recorded.
-pub fn generate_session(session: &mut dyn DecodeSession, spec: &GenerateSpec) -> GenerationTrace {
+pub fn generate_session(
+    session: &mut dyn DecodeSession,
+    spec: &GenerateSpec,
+) -> Result<GenerationTrace, LmError> {
+    spec.validate()?;
     let prompt_len = session.len();
     let mut rng = seeded_rng(spec.seed, SeedDomain::Sampling(prompt_len as u64));
     let mut steps = Vec::new();
     let mut stopped_naturally = false;
 
     for _ in 0..spec.max_tokens {
-        let logits = session.logits();
-        // The trace records the *raw* softmax (temperature 1, no top-k/p)
-        // above the `trace_min_prob` floor — the paper logs "all generated
-        // nonzero logit values" before any sampling processors, and its
-        // central-decode analysis (§IV-C) only comes out wrong-side-up if
-        // the rare off-magnitude alternatives that sharpening and nucleus
-        // pruning would remove are kept in the haystack.
-        let trace_sampler = Sampler { temperature: 1.0, top_k: 0, top_p: 1.0 };
-        let dist = trace_sampler.distribution(&logits);
-        let (chosen, chosen_prob) = spec.sampler.sample(&logits, &mut rng);
-        if spec.stop_tokens.contains(&chosen) {
-            stopped_naturally = true;
-            break;
+        match decode_step(session, spec, &mut rng)? {
+            Some(step) => steps.push(step),
+            None => {
+                stopped_naturally = true;
+                break;
+            }
         }
-        let alternatives: Vec<TokenAlt> = dist
-            .into_iter()
-            .filter(|&(_, p)| p >= spec.trace_min_prob)
-            .map(|(id, prob)| TokenAlt { id, prob })
-            .collect();
-        steps.push(GenStep { chosen, chosen_prob, alternatives });
-        session.append(chosen);
     }
 
-    GenerationTrace { prompt_len, steps, stopped_naturally }
+    Ok(GenerationTrace {
+        prompt_len,
+        steps,
+        stopped_naturally,
+    })
+}
+
+/// The decoding loop as an explicit state machine: one sampled token per
+/// [`GenerationStepper::step`] call.
+///
+/// This is what lets a scheduler interleave many generations — it can hold
+/// a `Vec<GenerationStepper>`, advance each in-flight request one token per
+/// scheduling round, admit new requests between rounds, and retire finished
+/// ones immediately. Stepping shares `decode_step` and the RNG keying with
+/// [`generate_session`], so for any interleaving the finished trace is
+/// byte-identical to running `generate_session` on the same session and
+/// spec.
+pub struct GenerationStepper {
+    session: Box<dyn DecodeSession>,
+    spec: GenerateSpec,
+    rng: ChaCha8Rng,
+    prompt_len: usize,
+    steps: Vec<GenStep>,
+    stopped_naturally: bool,
+    finished: bool,
+}
+
+impl GenerationStepper {
+    /// Wrap an already-prefilled session (its current contents are the
+    /// prompt). Validates the spec up front so a malformed request fails at
+    /// admission, not mid-decode.
+    pub fn new(session: Box<dyn DecodeSession>, spec: GenerateSpec) -> Result<Self, LmError> {
+        spec.validate()?;
+        let prompt_len = session.len();
+        let rng = seeded_rng(spec.seed, SeedDomain::Sampling(prompt_len as u64));
+        Ok(Self {
+            session,
+            spec,
+            rng,
+            prompt_len,
+            steps: Vec::new(),
+            stopped_naturally: false,
+            finished: false,
+        })
+    }
+
+    /// Advance one token. Returns `Ok(true)` while the generation can still
+    /// make progress, `Ok(false)` once it finished (stop token or budget).
+    /// After an error or completion, further calls return `Ok(false)`.
+    pub fn step(&mut self) -> Result<bool, LmError> {
+        if self.finished {
+            return Ok(false);
+        }
+        match decode_step(self.session.as_mut(), &self.spec, &mut self.rng) {
+            Ok(Some(step)) => {
+                self.steps.push(step);
+                if self.steps.len() >= self.spec.max_tokens {
+                    self.finished = true;
+                }
+                Ok(!self.finished)
+            }
+            Ok(None) => {
+                self.stopped_naturally = true;
+                self.finished = true;
+                Ok(false)
+            }
+            Err(e) => {
+                self.finished = true;
+                Err(e)
+            }
+        }
+    }
+
+    /// True once the generation cannot advance further.
+    pub fn is_finished(&self) -> bool {
+        self.finished
+    }
+
+    /// Tokens generated so far.
+    pub fn tokens_generated(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// Prompt length captured at construction.
+    pub fn prompt_len(&self) -> usize {
+        self.prompt_len
+    }
+
+    /// Consume the stepper into the finished trace.
+    pub fn into_trace(self) -> GenerationTrace {
+        GenerationTrace {
+            prompt_len: self.prompt_len,
+            steps: self.steps,
+            stopped_naturally: self.stopped_naturally,
+        }
+    }
 }
 
 /// §V-D future-work decoding: "an LLM can be given a unique token to signal
@@ -113,18 +381,19 @@ pub fn generate_session(session: &mut dyn DecodeSession, spec: &GenerateSpec) ->
 /// alternative, like a tool-call result) and the LM resumes for the
 /// surrounding scaffold.
 pub fn generate_with_number_hook<M, F>(
-    model: &M,
+    model: &Arc<M>,
     prompt: &[TokenId],
     spec: &GenerateSpec,
     mut number_provider: F,
-) -> GenerationTrace
+) -> Result<GenerationTrace, LmError>
 where
-    M: LanguageModel,
+    M: LanguageModel + ?Sized,
     F: FnMut(&[TokenId]) -> Option<String>,
 {
     use crate::induction::prior::{value_state, ValueState};
+    spec.validate()?;
     let mut rng = seeded_rng(spec.seed, SeedDomain::Sampling(prompt.len() as u64));
-    let mut session = model.session();
+    let mut session = Arc::clone(model).session();
     session.extend(prompt);
     let mut steps = Vec::new();
     let mut stopped_naturally = false;
@@ -150,23 +419,19 @@ where
                 continue;
             }
         }
-        let logits = session.logits();
-        let trace_sampler = Sampler { temperature: 1.0, top_k: 0, top_p: 1.0 };
-        let dist = trace_sampler.distribution(&logits);
-        let (chosen, chosen_prob) = spec.sampler.sample(&logits, &mut rng);
-        if spec.stop_tokens.contains(&chosen) {
-            stopped_naturally = true;
-            break;
+        match decode_step(&mut *session, spec, &mut rng)? {
+            Some(step) => steps.push(step),
+            None => {
+                stopped_naturally = true;
+                break;
+            }
         }
-        let alternatives: Vec<TokenAlt> = dist
-            .into_iter()
-            .filter(|&(_, p)| p >= spec.trace_min_prob)
-            .map(|(id, prob)| TokenAlt { id, prob })
-            .collect();
-        steps.push(GenStep { chosen, chosen_prob, alternatives });
-        session.append(chosen);
     }
-    GenerationTrace { prompt_len: prompt.len(), steps, stopped_naturally }
+    Ok(GenerationTrace {
+        prompt_len: prompt.len(),
+        steps,
+        stopped_naturally,
+    })
 }
 
 #[cfg(test)]
@@ -175,10 +440,13 @@ mod tests {
     use crate::model::testutil::CycleLm;
     use lmpeel_tokenizer::Tokenizer;
 
-    fn cycle_model() -> CycleLm {
+    fn cycle_model() -> Arc<CycleLm> {
         let t = Tokenizer::paper();
         let cycle = vec![t.encode("a")[0], t.encode("b")[0], t.encode("c")[0]];
-        CycleLm { tokenizer: t, cycle }
+        Arc::new(CycleLm {
+            tokenizer: t,
+            cycle,
+        })
     }
 
     #[test]
@@ -192,7 +460,7 @@ mod tests {
             trace_min_prob: 0.0,
             seed: 0,
         };
-        let trace = generate(&m, &prompt, &spec);
+        let trace = generate(&m, &prompt, &spec).unwrap();
         assert_eq!(trace.decode(&m.tokenizer), "bcabc");
         assert_eq!(trace.prompt_len, 1);
         assert!(!trace.stopped_naturally);
@@ -210,7 +478,7 @@ mod tests {
             trace_min_prob: 0.0,
             seed: 0,
         };
-        let trace = generate(&m, &prompt, &spec);
+        let trace = generate(&m, &prompt, &spec).unwrap();
         assert_eq!(trace.decode(&m.tokenizer), "b");
         assert!(trace.stopped_naturally);
     }
@@ -220,8 +488,8 @@ mod tests {
         let m = cycle_model();
         let prompt = m.tokenizer.encode("ab");
         let spec = GenerateSpec::paper(7);
-        let a = generate(&m, &prompt, &spec);
-        let b = generate(&m, &prompt, &spec);
+        let a = generate(&m, &prompt, &spec).unwrap();
+        let b = generate(&m, &prompt, &spec).unwrap();
         assert_eq!(a, b);
     }
 
@@ -230,18 +498,26 @@ mod tests {
         let m = cycle_model();
         let prompt = m.tokenizer.encode("a");
         let mk = |seed| GenerateSpec {
-            sampler: Sampler { temperature: 2.0, top_k: 0, top_p: 1.0 },
+            sampler: Sampler {
+                temperature: 2.0,
+                top_k: 0,
+                top_p: 1.0,
+            },
             max_tokens: 6,
             stop_tokens: vec![],
             trace_min_prob: 1e-6,
             seed,
         };
-        let a = generate(&m, &prompt, &mk(1));
-        let b = generate(&m, &prompt, &mk(2));
+        let a = generate(&m, &prompt, &mk(1)).unwrap();
+        let b = generate(&m, &prompt, &mk(2)).unwrap();
         // The *feasible sets* at step 0 are identical (model is
         // deterministic); only the draw may differ.
         let ids = |t: &GenerationTrace| {
-            t.steps[0].alternatives.iter().map(|x| x.id).collect::<Vec<_>>()
+            t.steps[0]
+                .alternatives
+                .iter()
+                .map(|x| x.id)
+                .collect::<Vec<_>>()
         };
         assert_eq!(ids(&a), ids(&b));
     }
@@ -251,17 +527,179 @@ mod tests {
         let m = cycle_model();
         let prompt = m.tokenizer.encode("a");
         let loose = GenerateSpec {
-            sampler: Sampler { temperature: 1.0, top_k: 0, top_p: 1.0 },
+            sampler: Sampler {
+                temperature: 1.0,
+                top_k: 0,
+                top_p: 1.0,
+            },
             max_tokens: 1,
             stop_tokens: vec![],
             trace_min_prob: 0.0,
             seed: 3,
         };
-        let tight = GenerateSpec { trace_min_prob: 0.5, ..loose.clone() };
-        let full = generate(&m, &prompt, &loose);
-        let pruned = generate(&m, &prompt, &tight);
+        let tight = GenerateSpec {
+            trace_min_prob: 0.5,
+            ..loose.clone()
+        };
+        let full = generate(&m, &prompt, &loose).unwrap();
+        let pruned = generate(&m, &prompt, &tight).unwrap();
         assert!(pruned.steps[0].num_possibilities() <= full.steps[0].num_possibilities());
         assert!(pruned.steps[0].num_possibilities() >= 1);
+    }
+
+    #[test]
+    fn builder_round_trips_and_validates() {
+        let spec = GenerateSpec::builder()
+            .sampler(Sampler::greedy())
+            .max_tokens(7)
+            .stop_token(3)
+            .trace_min_prob(0.25)
+            .seed(42)
+            .build()
+            .unwrap();
+        assert_eq!(spec.max_tokens(), 7);
+        assert_eq!(spec.stop_tokens(), &[3]);
+        assert_eq!(spec.seed(), 42);
+        assert_eq!(spec.sampler(), &Sampler::greedy());
+        assert_eq!(spec.trace_min_prob(), 0.25);
+
+        // to_builder derives modified copies without mutating the source.
+        let derived = spec.to_builder().seed(43).build().unwrap();
+        assert_eq!(derived.seed(), 43);
+        assert_eq!(derived.max_tokens(), spec.max_tokens());
+
+        assert_eq!(
+            GenerateSpec::builder().max_tokens(0).build().unwrap_err(),
+            LmError::ZeroMaxTokens
+        );
+        assert_eq!(
+            GenerateSpec::builder()
+                .max_tokens(MAX_TOKEN_BUDGET + 1)
+                .build()
+                .unwrap_err(),
+            LmError::BudgetExhausted {
+                requested: MAX_TOKEN_BUDGET + 1,
+                budget: MAX_TOKEN_BUDGET
+            }
+        );
+        assert!(matches!(
+            GenerateSpec::builder().trace_min_prob(f32::NAN).build(),
+            Err(LmError::InvalidSpec(_))
+        ));
+        assert!(matches!(
+            GenerateSpec::builder()
+                .sampler(Sampler {
+                    temperature: -1.0,
+                    top_k: 0,
+                    top_p: 1.0
+                })
+                .build(),
+            Err(LmError::InvalidSpec(_))
+        ));
+        assert!(matches!(
+            GenerateSpec::builder()
+                .sampler(Sampler {
+                    temperature: 1.0,
+                    top_k: 0,
+                    top_p: 0.0
+                })
+                .build(),
+            Err(LmError::InvalidSpec(_))
+        ));
+    }
+
+    #[test]
+    fn invalid_specs_are_rejected_by_every_entry_point() {
+        let m = cycle_model();
+        let prompt = m.tokenizer.encode("a");
+        let bad = GenerateSpec {
+            max_tokens: 0,
+            ..GenerateSpec::paper(0)
+        };
+        assert_eq!(
+            generate(&m, &prompt, &bad).unwrap_err(),
+            LmError::ZeroMaxTokens
+        );
+        let mut s = m.clone().session();
+        s.extend(&prompt);
+        assert_eq!(
+            generate_session(&mut *s, &bad).unwrap_err(),
+            LmError::ZeroMaxTokens
+        );
+        assert_eq!(
+            GenerationStepper::new(m.clone().session(), bad)
+                .err()
+                .unwrap(),
+            LmError::ZeroMaxTokens
+        );
+    }
+
+    #[test]
+    fn empty_vocab_is_an_error_not_a_panic() {
+        struct Mute(Tokenizer);
+        impl LanguageModel for Mute {
+            fn tokenizer(&self) -> &Tokenizer {
+                &self.0
+            }
+            fn logits(&self, _c: &[TokenId]) -> Vec<f32> {
+                vec![f32::NEG_INFINITY; self.0.vocab().len()]
+            }
+            fn name(&self) -> String {
+                "mute".into()
+            }
+        }
+        let m = Arc::new(Mute(Tokenizer::paper()));
+        let prompt = m.0.encode("a");
+        let spec = GenerateSpec::paper(0);
+        assert_eq!(
+            generate(&m, &prompt, &spec).unwrap_err(),
+            LmError::EmptyVocab
+        );
+    }
+
+    #[test]
+    fn stepper_matches_generate_session_exactly() {
+        let m = cycle_model();
+        let prompt = m.tokenizer.encode("ab");
+        for seed in 0..4u64 {
+            let spec = GenerateSpec::paper(seed);
+            let mut s = m.clone().session();
+            s.extend(&prompt);
+            let sequential = generate_session(&mut *s, &spec).unwrap();
+
+            let mut fresh = m.clone().session();
+            fresh.extend(&prompt);
+            let mut stepper = GenerationStepper::new(fresh, spec).unwrap();
+            while stepper.step().unwrap() {}
+            assert!(stepper.is_finished());
+            assert_eq!(stepper.into_trace(), sequential);
+        }
+    }
+
+    #[test]
+    fn stepper_honors_stop_tokens_and_reports_progress() {
+        let m = cycle_model();
+        let prompt = m.tokenizer.encode("a");
+        let stop = m.tokenizer.encode("c")[0];
+        let spec = GenerateSpec {
+            sampler: Sampler::greedy(),
+            max_tokens: 10,
+            stop_tokens: vec![stop],
+            trace_min_prob: 0.0,
+            seed: 0,
+        };
+        let mut s = m.clone().session();
+        s.extend(&prompt);
+        let mut stepper = GenerationStepper::new(s, spec).unwrap();
+        assert_eq!(stepper.prompt_len(), 1);
+        assert!(stepper.step().unwrap(), "first step generates 'b'");
+        assert_eq!(stepper.tokens_generated(), 1);
+        assert!(!stepper.step().unwrap(), "second step hits the stop token");
+        assert!(stepper.is_finished());
+        assert!(!stepper.step().unwrap(), "finished steppers stay finished");
+        let trace = stepper.into_trace();
+        assert_eq!(trace.decode(&m.tokenizer), "b");
+        assert!(trace.stopped_naturally);
     }
 
     #[test]
@@ -283,7 +721,7 @@ mod tests {
                 "flat".into()
             }
         }
-        let m = Flat(Tokenizer::paper());
+        let m = Arc::new(Flat(Tokenizer::paper()));
         let prompt = m.0.encode("Performance: ");
         let spec = GenerateSpec {
             sampler: Sampler::greedy(),
@@ -296,7 +734,8 @@ mod tests {
         let trace = generate_with_number_hook(&m, &prompt, &spec, |_ctx| {
             calls += 1;
             Some("0.0042000".to_string())
-        });
+        })
+        .unwrap();
         assert_eq!(calls, 1, "hook fires exactly once per value");
         let text = trace.decode(&m.0);
         assert!(text.starts_with("0.0042000"), "got {text:?}");
@@ -316,15 +755,15 @@ mod tests {
             trace_min_prob: 0.0,
             seed: 0,
         };
-        let plain = generate(&m, &prompt, &spec);
-        let hooked = generate_with_number_hook(&m, &prompt, &spec, |_| None);
+        let plain = generate(&m, &prompt, &spec).unwrap();
+        let hooked = generate_with_number_hook(&m, &prompt, &spec, |_| None).unwrap();
         assert_eq!(plain, hooked, "declining provider must be a no-op");
     }
 
     #[test]
     fn native_sessions_never_touch_the_batch_logits_path() {
         use crate::session::DecodeSession;
-        use std::cell::Cell;
+        use std::sync::atomic::{AtomicUsize, Ordering};
 
         // A model that counts batch `logits` calls and owns a native
         // session computing the same distribution without them. With such a
@@ -333,7 +772,7 @@ mod tests {
         struct CountingLm {
             tokenizer: Tokenizer,
             cycle: Vec<lmpeel_tokenizer::TokenId>,
-            batch_calls: Cell<usize>,
+            batch_calls: AtomicUsize,
         }
 
         impl CountingLm {
@@ -351,12 +790,12 @@ mod tests {
             }
         }
 
-        struct CountingSession<'m> {
-            model: &'m CountingLm,
+        struct CountingSession {
+            model: Arc<CountingLm>,
             tokens: Vec<lmpeel_tokenizer::TokenId>,
         }
 
-        impl DecodeSession for CountingSession<'_> {
+        impl DecodeSession for CountingSession {
             fn tokens(&self) -> &[lmpeel_tokenizer::TokenId] {
                 &self.tokens
             }
@@ -366,8 +805,11 @@ mod tests {
             fn logits(&self) -> Vec<f32> {
                 self.model.next_logits(self.tokens.last())
             }
-            fn fork(&self) -> Box<dyn DecodeSession + '_> {
-                Box::new(CountingSession { model: self.model, tokens: self.tokens.clone() })
+            fn fork(&self) -> Box<dyn DecodeSession> {
+                Box::new(CountingSession {
+                    model: Arc::clone(&self.model),
+                    tokens: self.tokens.clone(),
+                })
             }
         }
 
@@ -376,21 +818,28 @@ mod tests {
                 &self.tokenizer
             }
             fn logits(&self, context: &[lmpeel_tokenizer::TokenId]) -> Vec<f32> {
-                self.batch_calls.set(self.batch_calls.get() + 1);
+                self.batch_calls.fetch_add(1, Ordering::SeqCst);
                 self.next_logits(context.last())
             }
             fn name(&self) -> String {
                 "counting-test-lm".into()
             }
-            fn session(&self) -> Box<dyn DecodeSession + '_> {
-                Box::new(CountingSession { model: self, tokens: Vec::new() })
+            fn session(self: Arc<Self>) -> Box<dyn DecodeSession> {
+                Box::new(CountingSession {
+                    model: self,
+                    tokens: Vec::new(),
+                })
             }
         }
 
         let t = Tokenizer::paper();
         let cycle = vec![t.encode("a")[0], t.encode("b")[0], t.encode("c")[0]];
         let prompt = t.encode("abcab");
-        let m = CountingLm { tokenizer: t, cycle, batch_calls: Cell::new(0) };
+        let m = Arc::new(CountingLm {
+            tokenizer: t,
+            cycle,
+            batch_calls: AtomicUsize::new(0),
+        });
         let spec = GenerateSpec {
             sampler: Sampler::greedy(),
             max_tokens: 8,
@@ -398,29 +847,36 @@ mod tests {
             trace_min_prob: 0.0,
             seed: 0,
         };
-        let trace = generate(&m, &prompt, &spec);
+        let trace = generate(&m, &prompt, &spec).unwrap();
         assert_eq!(trace.decode(&m.tokenizer), "cabcabca");
         assert_eq!(
-            m.batch_calls.get(),
+            m.batch_calls.load(Ordering::SeqCst),
             0,
             "a native session must fully bypass batch logits"
         );
 
         // Control: the same distribution through the default fallback
         // session pays one batch call per generated token.
-        let mut s = crate::session::FallbackSession::new(&m);
+        let mut s = crate::session::FallbackSession::new(Arc::clone(&m));
         s.extend(&prompt);
-        let via_fallback = generate_session(&mut s, &spec);
+        let via_fallback = generate_session(&mut s, &spec).unwrap();
         assert_eq!(via_fallback.decode(&m.tokenizer), "cabcabca");
-        assert_eq!(m.batch_calls.get(), spec.max_tokens, "one batch call per step");
+        assert_eq!(
+            m.batch_calls.load(Ordering::SeqCst),
+            spec.max_tokens,
+            "one batch call per step"
+        );
     }
 
     #[test]
     fn max_tokens_caps_length() {
         let m = cycle_model();
         let prompt = m.tokenizer.encode("a");
-        let spec = GenerateSpec { max_tokens: 3, ..GenerateSpec::paper(1) };
-        let trace = generate(&m, &prompt, &spec);
+        let spec = GenerateSpec {
+            max_tokens: 3,
+            ..GenerateSpec::paper(1)
+        };
+        let trace = generate(&m, &prompt, &spec).unwrap();
         assert!(trace.steps.len() <= 3);
     }
 }

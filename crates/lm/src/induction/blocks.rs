@@ -58,7 +58,11 @@ impl AnchorIds {
                 .token_id(s)
                 .unwrap_or_else(|| panic!("vocabulary lacks anchor token {s:?}"))
         };
-        Self { hyper: need("Hyperparameter"), perf: need("Performance"), newline: need("\n") }
+        Self {
+            hyper: need("Hyperparameter"),
+            perf: need("Performance"),
+            newline: need("\n"),
+        }
     }
 }
 
@@ -96,7 +100,11 @@ impl ContextMap {
                     .unwrap_or(end);
                 (vend > vstart).then_some(vstart..vend)
             });
-            blocks.push(Block { span: start..end, config_span, value_span });
+            blocks.push(Block {
+                span: start..end,
+                config_span,
+                value_span,
+            });
         }
         Self { blocks }
     }
@@ -124,9 +132,10 @@ impl ContextMap {
     /// the query block's, in block order. The query scores 1.0 against
     /// itself. Returns an empty vector when there is no query.
     pub fn config_similarities(&self, context: &[TokenId]) -> Vec<f64> {
-        let Some(query) = self.query() else { return vec![] };
-        let qset: HashSet<TokenId> =
-            context[query.config_span.clone()].iter().copied().collect();
+        let Some(query) = self.query() else {
+            return vec![];
+        };
+        let qset: HashSet<TokenId> = context[query.config_span.clone()].iter().copied().collect();
         self.blocks
             .iter()
             .map(|b| {

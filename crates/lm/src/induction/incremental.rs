@@ -38,6 +38,7 @@ use super::InductionLm;
 use crate::session::DecodeSession;
 use lmpeel_tokenizer::TokenId;
 use std::collections::{BTreeMap, HashMap, HashSet};
+use std::sync::Arc;
 
 /// Incremental state of one `Hyperparameter ...` block.
 #[derive(Debug, Clone)]
@@ -62,8 +63,8 @@ struct BlockState {
 /// O(occurrences of the appended token) instead of the batch path's
 /// O(context x max_match) per decode step.
 #[derive(Debug, Clone)]
-pub struct InductionLmSession<'m> {
-    model: &'m InductionLm,
+pub struct InductionLmSession {
+    model: Arc<InductionLm>,
     tokens: Vec<TokenId>,
     /// Jitter seed; starts as the model's, swappable via `rekey`.
     seed: u64,
@@ -76,13 +77,14 @@ pub struct InductionLmSession<'m> {
     match_len: BTreeMap<usize, usize>,
 }
 
-impl<'m> InductionLmSession<'m> {
+impl InductionLmSession {
     /// Empty session over `model`, jitter-keyed by the model's seed.
-    pub fn new(model: &'m InductionLm) -> Self {
+    pub fn new(model: Arc<InductionLm>) -> Self {
+        let seed = model.seed();
         Self {
             model,
             tokens: Vec::new(),
-            seed: model.seed(),
+            seed,
             blocks: Vec::new(),
             occ: HashMap::new(),
             match_len: BTreeMap::new(),
@@ -93,7 +95,9 @@ impl<'m> InductionLmSession<'m> {
     /// first anchor belong to none). Blocks tile the context from the first
     /// anchor onward, so containment needs no end bound.
     fn block_of(&self, pos: usize) -> Option<usize> {
-        self.blocks.partition_point(|b| b.start <= pos).checked_sub(1)
+        self.blocks
+            .partition_point(|b| b.start <= pos)
+            .checked_sub(1)
     }
 
     /// Jaccard similarity of each block's config set against the query
@@ -131,9 +135,7 @@ impl<'m> InductionLmSession<'m> {
         let block_weight = |pos: usize| -> f64 {
             match self.block_of(pos) {
                 Some(b) if Some(b) == query_block => cfg.self_block_discount,
-                Some(b) if best_sim.is_finite() => {
-                    (cfg.sim_sharpness * (sims[b] - best_sim)).exp()
-                }
+                Some(b) if best_sim.is_finite() => (cfg.sim_sharpness * (sims[b] - best_sim)).exp(),
                 Some(_) => 1.0,
                 None => cfg.non_block_weight,
             }
@@ -158,7 +160,7 @@ impl<'m> InductionLmSession<'m> {
     }
 }
 
-impl DecodeSession for InductionLmSession<'_> {
+impl DecodeSession for InductionLmSession {
     fn tokens(&self) -> &[TokenId] {
         &self.tokens
     }
@@ -186,7 +188,12 @@ impl DecodeSession for InductionLmSession<'_> {
         if token == anchors.hyper {
             let mut config = HashSet::new();
             config.insert(token);
-            self.blocks.push(BlockState { start: p, perf_pos: None, config, inter_q: 0 });
+            self.blocks.push(BlockState {
+                start: p,
+                perf_pos: None,
+                config,
+                inter_q: 0,
+            });
             // The query block changed: rebuild intersections against the
             // new singleton query set {Hyperparameter}.
             for b in &mut self.blocks {
@@ -225,7 +232,7 @@ impl DecodeSession for InductionLmSession<'_> {
         )
     }
 
-    fn fork(&self) -> Box<dyn DecodeSession + '_> {
+    fn fork(&self) -> Box<dyn DecodeSession> {
         Box::new(self.clone())
     }
 
@@ -280,11 +287,11 @@ mod tests {
 
     #[test]
     fn session_matches_batch_at_every_prefix_of_a_real_prompt() {
-        let m = InductionLm::paper(3);
+        let m = Arc::new(InductionLm::paper(3));
         let ids = m
             .tokenizer()
             .encode(&prompt(&["0.0022155", "0.0051230", "0.0031999"]));
-        let mut s = m.session();
+        let mut s = m.clone().session();
         for (i, &t) in ids.iter().enumerate() {
             s.append(t);
             let diff = max_abs_diff(&s.logits(), &m.logits(&ids[..=i]));
@@ -296,11 +303,11 @@ mod tests {
     fn session_matches_batch_through_a_generation_tail() {
         // Continue past the prompt with generated-looking tokens, covering
         // the value states and the post-value scaffold.
-        let m = InductionLm::paper(0);
+        let m = Arc::new(InductionLm::paper(0));
         let tok = m.tokenizer();
         let mut ids = tok.encode(&prompt(&["0.0022155", "0.0051230"]));
         ids.extend(tok.encode("0.0023117\nHyperparameter"));
-        let mut s = m.session();
+        let mut s = m.clone().session();
         for (i, &t) in ids.iter().enumerate() {
             s.append(t);
             let diff = max_abs_diff(&s.logits(), &m.logits(&ids[..=i]));
@@ -310,17 +317,17 @@ mod tests {
 
     #[test]
     fn empty_session_matches_empty_batch() {
-        let m = InductionLm::paper(0);
-        let s = m.session();
+        let m = Arc::new(InductionLm::paper(0));
+        let s = m.clone().session();
         assert_eq!(max_abs_diff(&s.logits(), &m.logits(&[])), 0.0);
     }
 
     #[test]
     fn fork_is_independent_and_rekey_matches_a_reseeded_model() {
-        let a = InductionLm::paper(1);
+        let a = Arc::new(InductionLm::paper(1));
         let b = InductionLm::paper(9);
         let ids = a.tokenizer().encode(&prompt(&["0.0022155", "0.0051230"]));
-        let mut parent = a.session();
+        let mut parent = a.clone().session();
         parent.extend(&ids);
         let before = parent.logits();
         {
@@ -337,10 +344,10 @@ mod tests {
 
     #[test]
     fn match_lengths_follow_the_recurrence() {
-        let m = InductionLm::paper(0);
+        let m = Arc::new(InductionLm::paper(0));
         let tok = m.tokenizer();
         let ids = tok.encode("80 64 80 64 80");
-        let mut s = InductionLmSession::new(&m);
+        let mut s = InductionLmSession::new(m.clone());
         for &t in &ids {
             s.append(t);
         }
@@ -355,11 +362,7 @@ mod tests {
                 }
                 k += 1;
             }
-            assert_eq!(
-                s.match_len.get(&t).copied().unwrap_or(0),
-                k,
-                "position {t}"
-            );
+            assert_eq!(s.match_len.get(&t).copied().unwrap_or(0), k, "position {t}");
         }
     }
 
@@ -377,8 +380,18 @@ mod tests {
         fn alphabet(m: &InductionLm) -> Vec<TokenId> {
             let v = m.tokenizer().vocab();
             let out: Vec<TokenId> = [
-                "Hyperparameter", "Performance", ": ", "\n", " is", "0", ".",
-                "002", "215", "80", " ", ", ",
+                "Hyperparameter",
+                "Performance",
+                ": ",
+                "\n",
+                " is",
+                "0",
+                ".",
+                "002",
+                "215",
+                "80",
+                " ",
+                ", ",
             ]
             .iter()
             .filter_map(|s| v.token_id(s))
@@ -392,11 +405,11 @@ mod tests {
 
             #[test]
             fn random_streams_agree_with_batch(stream in arb_stream(), seed in 0u64..8) {
-                let m = InductionLm::paper(seed);
+                let m = Arc::new(InductionLm::paper(seed));
                 let alpha = alphabet(&m);
                 let ids: Vec<TokenId> =
                     stream.iter().map(|&i| alpha[i as usize % alpha.len()]).collect();
-                let mut s = m.session();
+                let mut s = m.clone().session();
                 for (i, &t) in ids.iter().enumerate() {
                     s.append(t);
                     let diff = max_abs_diff(&s.logits(), &m.logits(&ids[..=i]));
@@ -410,14 +423,14 @@ mod tests {
                 tail_a in arb_stream(),
                 tail_b in arb_stream(),
             ) {
-                let m = InductionLm::paper(0);
+                let m = Arc::new(InductionLm::paper(0));
                 let alpha = alphabet(&m);
                 let to_ids = |s: &[u8]| -> Vec<TokenId> {
                     s.iter().map(|&i| alpha[i as usize % alpha.len()]).collect()
                 };
                 let stem = to_ids(&stem);
                 let (tail_a, tail_b) = (to_ids(&tail_a), to_ids(&tail_b));
-                let mut parent = m.session();
+                let mut parent = m.clone().session();
                 parent.extend(&stem);
                 let mut fa = parent.fork();
                 fa.extend(&tail_a);

@@ -124,7 +124,11 @@ impl Default for InductionConfig {
             drift_confused: 0.80,
             background: 2.0e-4,
             jitter_eps: 0.02,
-            prior: MagnitudePrior { lo_seconds: 1e-4, hi_seconds: 10.0, target_decimals: 7 },
+            prior: MagnitudePrior {
+                lo_seconds: 1e-4,
+                hi_seconds: 10.0,
+                target_decimals: 7,
+            },
         }
     }
 }
@@ -135,7 +139,10 @@ impl InductionConfig {
     /// behind the occasional positive R²: without similarity weighting the
     /// surrogate is a pure parrot of the ICL distribution.
     pub fn without_similarity(self) -> Self {
-        Self { sim_sharpness: 0.0, ..self }
+        Self {
+            sim_sharpness: 0.0,
+            ..self
+        }
     }
 
     /// Ablation: disable the world-knowledge magnitude prior (value tokens
@@ -144,26 +151,41 @@ impl InductionConfig {
     /// behaviour: with no prior and no examples the model has no idea of
     /// plausible magnitudes.
     pub fn without_prior(self) -> Self {
-        Self { copy_cap_start: 0.999, copy_cap_frac: 0.95, smear_weight: 0.049, ..self }
+        Self {
+            copy_cap_start: 0.999,
+            copy_cap_frac: 0.95,
+            smear_weight: 0.049,
+            ..self
+        }
     }
 
     /// Ablation: disable numeric smearing (fraction digits are either exact
     /// copies or prior draws). Tests the interpolation behaviour behind the
     /// Figure 3 clustering.
     pub fn without_smear(self) -> Self {
-        Self { smear_weight: 0.0, ..self }
+        Self {
+            smear_weight: 0.0,
+            ..self
+        }
     }
 
     /// Ablation: disable format drift (the model never leaves the numeric
     /// format, regardless of context length).
     pub fn without_drift(self) -> Self {
-        Self { drift_base: 0.0, drift_slope: 0.0, ..self }
+        Self {
+            drift_base: 0.0,
+            drift_slope: 0.0,
+            ..self
+        }
     }
 
     /// Ablation: disable the seed-keyed logit jitter (all seeds produce
     /// bit-identical logits; only sampling differs).
     pub fn without_jitter(self) -> Self {
-        Self { jitter_eps: 0.0, ..self }
+        Self {
+            jitter_eps: 0.0,
+            ..self
+        }
     }
 }
 
@@ -205,7 +227,12 @@ impl InductionLm {
         let three_digit = vocab
             .numeric_ids(3)
             .into_iter()
-            .map(|id| (id, vocab.token_str(id).parse::<u32>().expect("3-digit token")))
+            .map(|id| {
+                (
+                    id,
+                    vocab.token_str(id).parse::<u32>().expect("3-digit token"),
+                )
+            })
             .collect();
         let num_non_special = vocab.len() - vocab.num_specials();
         Self {
@@ -386,14 +413,21 @@ impl LanguageModel for InductionLm {
         let sims = map.config_similarities(context);
         let (votes, strength) = self.induction_votes(context, &map, &sims);
         let query_start = map.blocks.last().map(|b| b.span.start);
-        self.finish_logits(context, map.blocks.len(), query_start, &votes, strength, self.seed)
+        self.finish_logits(
+            context,
+            map.blocks.len(),
+            query_start,
+            &votes,
+            strength,
+            self.seed,
+        )
     }
 
     fn name(&self) -> String {
         format!("induction-lm(seed={})", self.seed)
     }
 
-    fn session(&self) -> Box<dyn DecodeSession + '_> {
+    fn session(self: std::sync::Arc<Self>) -> Box<dyn DecodeSession> {
         Box::new(incremental::InductionLmSession::new(self))
     }
 }
@@ -424,7 +458,9 @@ impl InductionLm {
         match state {
             Some(s) => {
                 let prior_pairs =
-                    self.cfg.prior.next_token_weights(s, &self.tokenizer, self.newline, self.eos);
+                    self.cfg
+                        .prior
+                        .next_token_weights(s, &self.tokenizer, self.newline, self.eos);
                 let raw_w = strength / (strength + self.cfg.saturation);
                 match s {
                     ValueState::Start | ValueState::AfterInt { .. } => {
@@ -443,31 +479,26 @@ impl InductionLm {
                             // a derailed response usually recovers at its
                             // next Performance line, as the paper's deviant
                             // outputs did.
-                            let confused = self.prompt_hash_unit(
-                                context,
-                                query_start,
-                                n_blocks as u64,
-                            ) < self.cfg.confusion_at_100 * ramp;
+                            let confused =
+                                self.prompt_hash_unit(context, query_start, n_blocks as u64)
+                                    < self.cfg.confusion_at_100 * ramp;
                             let drift = if confused {
                                 self.cfg.drift_confused
                             } else {
                                 self.cfg.drift_base
-                                    + self.cfg.drift_slope
-                                        * (n_examples as f64 / 100.0).min(1.0)
+                                    + self.cfg.drift_slope * (n_examples as f64 / 100.0).min(1.0)
                             };
                             for v in p.iter_mut() {
                                 *v *= 1.0 - drift;
                             }
-                            let total_w: f64 =
-                                self.drift_ids.iter().map(|&(_, w)| w).sum();
+                            let total_w: f64 = self.drift_ids.iter().map(|&(_, w)| w).sum();
                             for &(d, w) in &self.drift_ids {
                                 p[d as usize] += drift * w / total_w;
                             }
                         }
                     }
                     ValueState::InFraction { frac_digits } => {
-                        let remaining =
-                            self.cfg.prior.target_decimals.saturating_sub(frac_digits);
+                        let remaining = self.cfg.prior.target_decimals.saturating_sub(frac_digits);
                         if remaining >= 3 {
                             let w_exact = raw_w.min(self.cfg.copy_cap_frac);
                             let smeared = self.smear(votes);
@@ -582,7 +613,8 @@ mod tests {
             trace_min_prob: 1e-4,
             seed,
         };
-        generate(model, &ids, &spec)
+        let model = std::sync::Arc::new(model.clone());
+        generate(&model, &ids, &spec).unwrap()
     }
 
     #[test]
@@ -648,7 +680,10 @@ mod tests {
                 hits += 1;
             }
         }
-        assert!(hits >= 12, "expected clustering on the common prefix, got {hits}/20");
+        assert!(
+            hits >= 12,
+            "expected clustering on the common prefix, got {hits}/20"
+        );
     }
 
     #[test]
@@ -693,14 +728,22 @@ mod tests {
         // Check the full (unfiltered) temperature distribution: nucleus
         // sampling may collapse onto the dominant mode, but the recorded
         // "nonzero logit" set of Figure 4 keeps both leading digits.
-        let dist = Sampler { top_k: 0, top_p: 1.0, ..Sampler::paper() }.distribution(&logits);
+        let dist = Sampler {
+            top_k: 0,
+            top_p: 1.0,
+            ..Sampler::paper()
+        }
+        .distribution(&logits);
         let digits: Vec<&str> = dist
             .iter()
             .filter(|&&(_, p)| p >= 1e-3)
             .map(|&(id, _)| m.tokenizer().vocab().token_str(id))
             .filter(|s| s.len() == 1 && s.chars().all(|c| c.is_ascii_digit()))
             .collect();
-        assert!(digits.len() >= 2, "bimodal first digits expected, got {digits:?}");
+        assert!(
+            digits.len() >= 2,
+            "bimodal first digits expected, got {digits:?}"
+        );
     }
 
     #[test]

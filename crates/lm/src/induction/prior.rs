@@ -109,7 +109,11 @@ pub struct MagnitudePrior {
 
 impl Default for MagnitudePrior {
     fn default() -> Self {
-        Self { lo_seconds: 1e-4, hi_seconds: 20.0, target_decimals: 7 }
+        Self {
+            lo_seconds: 1e-4,
+            hi_seconds: 20.0,
+            target_decimals: 7,
+        }
     }
 }
 
@@ -136,8 +140,7 @@ impl MagnitudePrior {
         eos: TokenId,
     ) -> Vec<(TokenId, f64)> {
         let vocab = tokenizer.vocab();
-        let digit_id =
-            |d: usize| vocab.token_id(&d.to_string()).expect("digit tokens exist");
+        let digit_id = |d: usize| vocab.token_id(&d.to_string()).expect("digit tokens exist");
         match state {
             ValueState::Start => {
                 // First integer digit d means runtime in [d, d+1) seconds
@@ -148,8 +151,10 @@ impl MagnitudePrior {
                         let (a, b) = if d == 0 {
                             (self.lo_seconds, 1.0)
                         } else if d == 1 {
-                            return (digit_id(1), self.log_mass(1.0, 2.0)
-                                + self.log_mass(10.0, self.hi_seconds));
+                            return (
+                                digit_id(1),
+                                self.log_mass(1.0, 2.0) + self.log_mass(10.0, self.hi_seconds),
+                            );
                         } else {
                             (d as f64, d as f64 + 1.0)
                         };
@@ -172,10 +177,7 @@ impl MagnitudePrior {
                 } else {
                     0.0
                 };
-                let mut out = vec![(
-                    vocab.token_id(".").expect("period token"),
-                    1.0 - more,
-                )];
+                let mut out = vec![(vocab.token_id(".").expect("period token"), 1.0 - more)];
                 if more > 0.0 {
                     // spread over plausible second digits uniformly
                     for d in 0..10 {
@@ -222,7 +224,7 @@ impl MagnitudePrior {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use lmpeel_tokenizer::{EOS as EOS_STR, Vocab};
+    use lmpeel_tokenizer::{Vocab, EOS as EOS_STR};
 
     fn tok() -> Tokenizer {
         Tokenizer::paper()
@@ -276,7 +278,10 @@ mod tests {
         let mut ctx = t.encode("Performance:");
         assert_eq!(value_state(&ctx, &t), Some(ValueState::Start));
         ctx.extend(t.encode("3"));
-        assert_eq!(value_state(&ctx, &t), Some(ValueState::AfterInt { int_digits: 1 }));
+        assert_eq!(
+            value_state(&ctx, &t),
+            Some(ValueState::AfterInt { int_digits: 1 })
+        );
     }
 
     #[test]
@@ -292,7 +297,10 @@ mod tests {
                 .unwrap_or(0.0)
         };
         assert!(get("0") > 0.5, "most mass on sub-second runtimes");
-        assert!(get("1") > get("5"), "log-uniform favours small leading digits");
+        assert!(
+            get("1") > get("5"),
+            "log-uniform favours small leading digits"
+        );
         let total: f64 = w.iter().map(|&(_, p)| p).sum();
         assert!((total - 1.0).abs() < 1e-9);
     }

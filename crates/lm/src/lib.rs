@@ -11,7 +11,7 @@
 //! * [`trace::GenerationTrace`] — per-step recording of *every* token with
 //!   non-negligible probability, the raw material for the paper's
 //!   alternative-decoding analyses (Table II, Figures 3-4, §IV-C);
-//! * [`generate`] — the decoding loop;
+//! * [`generate()`] — the decoding loop;
 //! * [`induction::InductionLm`] — a mechanistic surrogate for the
 //!   instruction-tuned LLM's behaviour on LLAMBO-style prompts: an
 //!   induction-head suffix-copy distribution over the in-context examples,
@@ -23,6 +23,7 @@
 #![warn(missing_docs)]
 
 pub mod constrain;
+pub mod error;
 pub mod generate;
 pub mod induction;
 pub mod model;
@@ -31,10 +32,13 @@ pub mod session;
 pub mod trace;
 
 pub use constrain::{generate_constrained, LogitConstraint, ValueGrammar};
-pub use generate::{generate, generate_session, GenerateSpec};
+pub use error::{LmError, MAX_TOKEN_BUDGET};
+pub use generate::{
+    generate, generate_session, GenerateSpec, GenerateSpecBuilder, GenerationStepper,
+};
 pub use induction::incremental::InductionLmSession;
 pub use induction::{InductionConfig, InductionLm};
 pub use model::LanguageModel;
 pub use sampler::Sampler;
 pub use session::{DecodeSession, FallbackSession};
-pub use trace::{GenerationTrace, GenStep, TokenAlt};
+pub use trace::{GenStep, GenerationTrace, TokenAlt};

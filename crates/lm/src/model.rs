@@ -2,6 +2,7 @@
 
 use crate::session::{DecodeSession, FallbackSession};
 use lmpeel_tokenizer::{TokenId, Tokenizer};
+use std::sync::Arc;
 
 /// An autoregressive language model exposing raw next-token logits.
 ///
@@ -14,7 +15,14 @@ use lmpeel_tokenizer::{TokenId, Tokenizer};
 /// seeds often produce identical token sets with slightly altered logit
 /// probabilities") must be keyed by model-owned state fixed at
 /// construction.
-pub trait LanguageModel {
+///
+/// Models are `Send + Sync + 'static`: inference in this workspace is
+/// served by a scheduler thread that holds models behind
+/// `Arc<dyn LanguageModel>` and parks sessions in a prefix cache, so the
+/// whole surface must be shareable across threads. Models are immutable
+/// after construction (all known implementations are plain data), so this
+/// costs nothing.
+pub trait LanguageModel: Send + Sync + 'static {
     /// The tokenizer whose vocabulary the logits are over.
     fn tokenizer(&self) -> &Tokenizer;
 
@@ -28,38 +36,20 @@ pub trait LanguageModel {
     /// Human-readable model name for reports.
     fn name(&self) -> String;
 
-    /// Start an incremental [`DecodeSession`] over this model.
+    /// Start an owned incremental [`DecodeSession`] over this model.
     ///
-    /// The default is a [`FallbackSession`] that recomputes batch
+    /// Takes `self: Arc<Self>` so the session can co-own the model and be
+    /// `Send + 'static` — free to cross threads, sit in a request queue, or
+    /// outlive the caller (the `Arc` receiver keeps the method
+    /// object-safe, so `Arc<dyn LanguageModel>` works too). The default is
+    /// a [`FallbackSession`] that recomputes batch
     /// [`LanguageModel::logits`] over the accumulated context — correct for
     /// every model. Substrates with cacheable per-context state (the
     /// transformer's key/value rows, the induction surrogate's segmentation
     /// and match indices) override this to make each decode step O(context)
     /// instead of O(context²) or worse.
-    fn session(&self) -> Box<dyn DecodeSession + '_> {
+    fn session(self: Arc<Self>) -> Box<dyn DecodeSession> {
         Box::new(FallbackSession::new(self))
-    }
-}
-
-/// Blanket impl so `&M` is itself a model (lets callers pass either owned
-/// or borrowed models to the generation loop).
-impl<M: LanguageModel + ?Sized> LanguageModel for &M {
-    fn tokenizer(&self) -> &Tokenizer {
-        (**self).tokenizer()
-    }
-
-    fn logits(&self, context: &[TokenId]) -> Vec<f32> {
-        (**self).logits(context)
-    }
-
-    fn name(&self) -> String {
-        (**self).name()
-    }
-
-    fn session(&self) -> Box<dyn DecodeSession + '_> {
-        // Forward so a borrowed model still reaches the native session
-        // (the default would wrap `&M` in a fresh fallback).
-        (**self).session()
     }
 }
 
@@ -109,14 +99,20 @@ mod tests {
     use super::*;
 
     #[test]
-    fn reference_forwarding_works() {
+    fn trait_objects_dispatch_sessions() {
         let t = Tokenizer::paper();
         let cycle = vec![t.encode("a")[0], t.encode("b")[0], t.encode("c")[0]];
-        let m = CycleLm { tokenizer: t, cycle };
-        let by_ref: &dyn LanguageModel = &m;
-        assert_eq!(by_ref.name(), "cycle-test-lm");
+        let m = Arc::new(CycleLm {
+            tokenizer: t,
+            cycle,
+        });
+        let as_dyn: Arc<dyn LanguageModel> = m.clone();
+        assert_eq!(as_dyn.name(), "cycle-test-lm");
         let ctx = m.tokenizer().encode("a");
-        assert_eq!(by_ref.logits(&ctx), m.logits(&ctx));
-        assert_eq!(by_ref.logits(&ctx).len(), m.tokenizer().vocab().len());
+        assert_eq!(as_dyn.logits(&ctx), m.logits(&ctx));
+        // `session()` is dispatchable through the trait object.
+        let mut s = as_dyn.session();
+        s.extend(&ctx);
+        assert_eq!(s.logits(), m.logits(&ctx));
     }
 }

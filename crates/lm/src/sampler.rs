@@ -20,12 +20,20 @@ impl Sampler {
     /// The paper-style default: temperature 0.6, nucleus 0.9 (the Llama
     /// instruct generation defaults).
     pub fn paper() -> Self {
-        Self { temperature: 0.6, top_k: 0, top_p: 0.9 }
+        Self {
+            temperature: 0.6,
+            top_k: 0,
+            top_p: 0.9,
+        }
     }
 
     /// Greedy decoding.
     pub fn greedy() -> Self {
-        Self { temperature: 0.0, top_k: 0, top_p: 1.0 }
+        Self {
+            temperature: 0.0,
+            top_k: 0,
+            top_p: 1.0,
+        }
     }
 
     /// Normalized next-token distribution after temperature scaling and
@@ -134,7 +142,12 @@ mod tests {
     #[test]
     fn distribution_is_normalized_and_sorted() {
         let l = logits_of(&[(0, 1.0), (1, 2.0), (2, 0.0)], 5);
-        let d = Sampler { temperature: 1.0, top_k: 0, top_p: 1.0 }.distribution(&l);
+        let d = Sampler {
+            temperature: 1.0,
+            top_k: 0,
+            top_p: 1.0,
+        }
+        .distribution(&l);
         assert_eq!(d.len(), 3);
         assert!((d.iter().map(|&(_, p)| p).sum::<f32>() - 1.0).abs() < 1e-6);
         assert!(d.windows(2).all(|w| w[0].1 >= w[1].1));
@@ -152,15 +165,30 @@ mod tests {
     #[test]
     fn temperature_sharpens_and_flattens() {
         let l = logits_of(&[(0, 1.0), (1, 0.0)], 2);
-        let hot = Sampler { temperature: 4.0, top_k: 0, top_p: 1.0 }.distribution(&l);
-        let cold = Sampler { temperature: 0.25, top_k: 0, top_p: 1.0 }.distribution(&l);
+        let hot = Sampler {
+            temperature: 4.0,
+            top_k: 0,
+            top_p: 1.0,
+        }
+        .distribution(&l);
+        let cold = Sampler {
+            temperature: 0.25,
+            top_k: 0,
+            top_p: 1.0,
+        }
+        .distribution(&l);
         assert!(cold[0].1 > hot[0].1, "low temperature concentrates mass");
     }
 
     #[test]
     fn top_k_truncates() {
         let l = logits_of(&[(0, 3.0), (1, 2.0), (2, 1.0), (3, 0.0)], 4);
-        let d = Sampler { temperature: 1.0, top_k: 2, top_p: 1.0 }.distribution(&l);
+        let d = Sampler {
+            temperature: 1.0,
+            top_k: 2,
+            top_p: 1.0,
+        }
+        .distribution(&l);
         assert_eq!(d.len(), 2);
         assert!((d[0].1 + d[1].1 - 1.0).abs() < 1e-6, "renormalized");
     }
@@ -169,7 +197,12 @@ mod tests {
     fn top_p_keeps_smallest_covering_prefix() {
         // probs ~ [0.64, 0.23, 0.09, 0.03]
         let l = logits_of(&[(0, 3.0), (1, 2.0), (2, 1.0), (3, 0.0)], 4);
-        let d = Sampler { temperature: 1.0, top_k: 0, top_p: 0.8 }.distribution(&l);
+        let d = Sampler {
+            temperature: 1.0,
+            top_k: 0,
+            top_p: 0.8,
+        }
+        .distribution(&l);
         assert_eq!(d.len(), 2, "0.64 + 0.23 covers 0.8");
     }
 
@@ -191,7 +224,11 @@ mod tests {
     #[test]
     fn sampling_frequency_tracks_probability() {
         let l = logits_of(&[(0, 2.0), (1, 0.0)], 2);
-        let s = Sampler { temperature: 1.0, top_k: 0, top_p: 1.0 };
+        let s = Sampler {
+            temperature: 1.0,
+            top_k: 0,
+            top_p: 1.0,
+        };
         let mut rng = seeded_rng(2, SeedDomain::Sampling(1));
         let n = 4000;
         let hits = (0..n).filter(|_| s.sample(&l, &mut rng).0 == 0).count();

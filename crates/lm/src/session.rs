@@ -11,14 +11,18 @@
 //! surrogate), and [`DecodeSession::fork`] snapshots the state so a shared
 //! prompt prefix is paid for once across seeds.
 //!
-//! Every model gets a session for free: the default
-//! [`LanguageModel::session`] wraps the model in a [`FallbackSession`] that
-//! recomputes batch logits over the accumulated tokens, so generic callers
-//! can always drive a session and substrates opt into incrementality by
-//! overriding `session()`.
+//! Sessions are *owned*: they hold an `Arc` of their model rather than a
+//! borrow, so they are `Send + 'static` and can be parked in a scheduler
+//! queue, moved across threads, or cached in the serve crate's prefix trie
+//! long after the call frame that created them returned. Every model gets a
+//! session for free: the default [`LanguageModel::session`] wraps the model
+//! in a [`FallbackSession`] that recomputes batch logits over the
+//! accumulated tokens, so generic callers can always drive a session and
+//! substrates opt into incrementality by overriding `session()`.
 
 use crate::model::LanguageModel;
 use lmpeel_tokenizer::TokenId;
+use std::sync::Arc;
 
 /// A stateful incremental decoder over one growing token context.
 ///
@@ -26,9 +30,9 @@ use lmpeel_tokenizer::TokenId;
 /// must yield the same logits as the owning model's batch
 /// [`LanguageModel::logits`] on the same context (the equivalence suites in
 /// this workspace pin the two paths together to < 1e-4 max absolute
-/// difference). A forked session is fully independent of its parent — the
-/// parent must stay immutable only while forks that borrow it are alive.
-pub trait DecodeSession {
+/// difference). A forked session is fully independent of its parent: both
+/// own the model via `Arc`, so either side may outlive the other.
+pub trait DecodeSession: Send {
     /// The tokens fed so far, in order.
     fn tokens(&self) -> &[TokenId];
 
@@ -47,9 +51,9 @@ pub trait DecodeSession {
     /// `NEG_INFINITY` for infeasible tokens.
     fn logits(&self) -> Vec<f32>;
 
-    /// Snapshot this session into an independent copy sharing the parent's
-    /// model borrow. Appending to the fork never affects the parent.
-    fn fork(&self) -> Box<dyn DecodeSession + '_>;
+    /// Snapshot this session into an independent owned copy. Appending to
+    /// the fork never affects the parent, and the fork may outlive it.
+    fn fork(&self) -> Box<dyn DecodeSession>;
 
     /// Re-key any *seed-dependent logit state* (the paper's Figure 4
     /// jitter) so this session's future logits match a model identically
@@ -75,19 +79,22 @@ pub trait DecodeSession {
 /// The from-scratch session every model gets by default: keeps the token
 /// vector and recomputes batch logits on demand. Correct for any model,
 /// incremental for none.
-pub struct FallbackSession<'m, M: LanguageModel + ?Sized> {
-    model: &'m M,
+pub struct FallbackSession<M: LanguageModel + ?Sized> {
+    model: Arc<M>,
     tokens: Vec<TokenId>,
 }
 
-impl<'m, M: LanguageModel + ?Sized> FallbackSession<'m, M> {
+impl<M: LanguageModel + ?Sized> FallbackSession<M> {
     /// Empty session over `model`.
-    pub fn new(model: &'m M) -> Self {
-        Self { model, tokens: Vec::new() }
+    pub fn new(model: Arc<M>) -> Self {
+        Self {
+            model,
+            tokens: Vec::new(),
+        }
     }
 }
 
-impl<M: LanguageModel + ?Sized> DecodeSession for FallbackSession<'_, M> {
+impl<M: LanguageModel + ?Sized> DecodeSession for FallbackSession<M> {
     fn tokens(&self) -> &[TokenId] {
         &self.tokens
     }
@@ -104,8 +111,11 @@ impl<M: LanguageModel + ?Sized> DecodeSession for FallbackSession<'_, M> {
         self.model.logits(&self.tokens)
     }
 
-    fn fork(&self) -> Box<dyn DecodeSession + '_> {
-        Box::new(FallbackSession { model: self.model, tokens: self.tokens.clone() })
+    fn fork(&self) -> Box<dyn DecodeSession> {
+        Box::new(FallbackSession {
+            model: Arc::clone(&self.model),
+            tokens: self.tokens.clone(),
+        })
     }
 }
 
@@ -115,17 +125,20 @@ mod tests {
     use crate::model::testutil::CycleLm;
     use lmpeel_tokenizer::Tokenizer;
 
-    fn cycle_model() -> CycleLm {
+    fn cycle_model() -> Arc<CycleLm> {
         let t = Tokenizer::paper();
         let cycle = vec![t.encode("a")[0], t.encode("b")[0], t.encode("c")[0]];
-        CycleLm { tokenizer: t, cycle }
+        Arc::new(CycleLm {
+            tokenizer: t,
+            cycle,
+        })
     }
 
     #[test]
     fn fallback_session_matches_batch_logits() {
         let m = cycle_model();
         let ctx = m.tokenizer.encode("abcab");
-        let mut s = m.session();
+        let mut s = m.clone().session();
         s.extend(&ctx);
         assert_eq!(s.tokens(), &ctx[..]);
         assert_eq!(s.logits(), m.logits(&ctx));
@@ -137,9 +150,9 @@ mod tests {
     fn append_and_extend_agree() {
         let m = cycle_model();
         let ctx = m.tokenizer.encode("abc");
-        let mut a = m.session();
+        let mut a = m.clone().session();
         a.extend(&ctx);
-        let mut b = m.session();
+        let mut b = m.clone().session();
         for &t in &ctx {
             b.append(t);
         }
@@ -152,7 +165,7 @@ mod tests {
         let m = cycle_model();
         let prompt = m.tokenizer.encode("ab");
         let extra = m.tokenizer.encode("c")[0];
-        let mut parent = m.session();
+        let mut parent = m.clone().session();
         parent.extend(&prompt);
         let before = parent.logits();
         {
@@ -165,19 +178,32 @@ mod tests {
     }
 
     #[test]
+    fn fork_outlives_its_parent() {
+        let m = cycle_model();
+        let prompt = m.tokenizer.encode("ab");
+        let child = {
+            let mut parent = m.clone().session();
+            parent.extend(&prompt);
+            parent.fork()
+            // parent dropped here; the fork owns the model via Arc.
+        };
+        assert_eq!(child.logits(), m.logits(&prompt));
+    }
+
+    #[test]
+    fn sessions_are_send() {
+        let m = cycle_model();
+        let prompt = m.tokenizer.encode("ab");
+        let mut s = m.clone().session();
+        s.extend(&prompt);
+        let logits = std::thread::spawn(move || s.logits()).join().unwrap();
+        assert_eq!(logits, m.logits(&prompt));
+    }
+
+    #[test]
     fn fallback_cannot_rekey() {
         let m = cycle_model();
         let mut s = m.session();
         assert!(!s.rekey(7));
-    }
-
-    #[test]
-    fn session_through_dyn_model_reference() {
-        let m = cycle_model();
-        let by_ref: &dyn LanguageModel = &m;
-        let ctx = m.tokenizer.encode("ab");
-        let mut s = by_ref.session();
-        s.extend(&ctx);
-        assert_eq!(s.logits(), m.logits(&ctx));
     }
 }

@@ -87,9 +87,9 @@ impl GenerationTrace {
     /// token sequences reachable by alternative decodings of this
     /// generation (Table II's "Permutations" row). Saturates at `u128::MAX`.
     pub fn permutations(&self) -> u128 {
-        self.steps
-            .iter()
-            .fold(1u128, |acc, s| acc.saturating_mul(s.num_possibilities() as u128))
+        self.steps.iter().fold(1u128, |acc, s| {
+            acc.saturating_mul(s.num_possibilities() as u128)
+        })
     }
 }
 
@@ -102,7 +102,10 @@ mod tests {
         GenStep {
             chosen,
             chosen_prob,
-            alternatives: alts.iter().map(|&(id, prob)| TokenAlt { id, prob }).collect(),
+            alternatives: alts
+                .iter()
+                .map(|&(id, prob)| TokenAlt { id, prob })
+                .collect(),
         }
     }
 

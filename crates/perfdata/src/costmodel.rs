@@ -123,8 +123,16 @@ impl CostModel {
         // length) unless that array is packed; A[i,j]/B[i,j] walk j with
         // unit stride.
         let col_stride = m * elem;
-        let pen_a_kj = if cfg.pack_a { 1.0 } else { self.machine.stride_penalty(col_stride) };
-        let pen_b_kj = if cfg.pack_b { 1.0 } else { self.machine.stride_penalty(col_stride) };
+        let pen_a_kj = if cfg.pack_a {
+            1.0
+        } else {
+            self.machine.stride_penalty(col_stride)
+        };
+        let pen_b_kj = if cfg.pack_b {
+            1.0
+        } else {
+            self.machine.stride_penalty(col_stride)
+        };
         let bonus = self.unit_stride_bonus;
         let bonus_a_kj = if cfg.pack_a { bonus } else { 1.0 };
         let bonus_b_kj = if cfg.pack_b { bonus } else { 1.0 };
@@ -282,7 +290,10 @@ mod tests {
         let rts = all_runtimes(ArraySize::SM);
         let min = rts.iter().cloned().fold(f64::INFINITY, f64::min);
         let max = rts.iter().cloned().fold(0.0_f64, f64::max);
-        assert!(min > 4e-4 && max < 1e-1, "SM range [{min}, {max}] off-scale");
+        assert!(
+            min > 4e-4 && max < 1e-1,
+            "SM range [{min}, {max}] off-scale"
+        );
     }
 
     #[test]
@@ -296,13 +307,20 @@ mod tests {
             tile_middle: 16,
             tile_inner: 16,
         };
-        let packed = Syr2kConfig { pack_a: true, pack_b: true, ..base };
-        let sm_gain = model.runtime_exact(base, ArraySize::SM)
-            / model.runtime_exact(packed, ArraySize::SM);
-        let xl_gain = model.runtime_exact(base, ArraySize::XL)
-            / model.runtime_exact(packed, ArraySize::XL);
+        let packed = Syr2kConfig {
+            pack_a: true,
+            pack_b: true,
+            ..base
+        };
+        let sm_gain =
+            model.runtime_exact(base, ArraySize::SM) / model.runtime_exact(packed, ArraySize::SM);
+        let xl_gain =
+            model.runtime_exact(base, ArraySize::XL) / model.runtime_exact(packed, ArraySize::XL);
         assert!(xl_gain > 1.0, "packing should speed up XL (gain {xl_gain})");
-        assert!(sm_gain < 1.0, "packing overhead should hurt SM (gain {sm_gain})");
+        assert!(
+            sm_gain < 1.0,
+            "packing overhead should hurt SM (gain {sm_gain})"
+        );
     }
 
     #[test]
@@ -334,7 +352,10 @@ mod tests {
             tile_middle: 64,
             tile_inner: 4,
         };
-        let big = Syr2kConfig { tile_inner: 128, ..small };
+        let big = Syr2kConfig {
+            tile_inner: 128,
+            ..small
+        };
         for size in ArraySize::PAPER_SIZES {
             assert!(
                 model.runtime_exact(small, size) > model.runtime_exact(big, size),
@@ -368,14 +389,23 @@ mod tests {
         let space = syr2k_space();
         let a = Syr2kConfig::from_config(&space, &space.config_at(0));
         let b = Syr2kConfig::from_config(&space, &space.config_at(1));
-        assert_ne!(model.jitter(a, ArraySize::SM), model.jitter(a, ArraySize::XL));
-        assert_ne!(model.jitter(a, ArraySize::SM), model.jitter(b, ArraySize::SM));
+        assert_ne!(
+            model.jitter(a, ArraySize::SM),
+            model.jitter(a, ArraySize::XL)
+        );
+        assert_ne!(
+            model.jitter(a, ArraySize::SM),
+            model.jitter(b, ArraySize::SM)
+        );
     }
 
     #[test]
     fn flop_count_formula() {
         // SM: 6 * 130 * 160^2 / 2
-        assert_eq!(CostModel::flops(ArraySize::SM), 6.0 * 130.0 * 160.0 * 160.0 / 2.0);
+        assert_eq!(
+            CostModel::flops(ArraySize::SM),
+            6.0 * 130.0 * 160.0 * 160.0 / 2.0
+        );
     }
 
     #[test]

@@ -41,7 +41,11 @@ impl PerfDataset {
                 model.runtime_measured(cfg, size)
             })
             .collect();
-        Self { space, size, runtimes }
+        Self {
+            space,
+            size,
+            runtimes,
+        }
     }
 
     /// The configuration space shared by all samples.
@@ -95,7 +99,10 @@ impl PerfDataset {
             .enumerate()
             .min_by(|a, b| a.1.partial_cmp(b.1).unwrap())
             .expect("dataset is never empty");
-        Sample { config: self.space.config_at(i as u64), runtime: r }
+        Sample {
+            config: self.space.config_at(i as u64),
+            runtime: r,
+        }
     }
 
     /// Summary statistics of the runtimes.
@@ -164,11 +171,7 @@ impl PerfDataset {
             match size {
                 None => size = Some(row_size),
                 Some(s) if s == row_size => {}
-                Some(s) => {
-                    return Err(format!(
-                        "row {lineno}: mixed sizes {s} and {row_size}"
-                    ))
-                }
+                Some(s) => return Err(format!("row {lineno}: mixed sizes {s} and {row_size}")),
             }
             // Reconstruct the configuration via the NL parser's value logic:
             // build a pseudo NL line from the CSV columns.
@@ -351,17 +354,18 @@ mod tests {
         let csv = d.to_csv(None);
         assert!(PerfDataset::from_csv("").is_err(), "empty");
         assert!(
-            PerfDataset::from_csv("bad,header
-").is_err(),
+            PerfDataset::from_csv(
+                "bad,header
+"
+            )
+            .is_err(),
             "wrong header"
         );
         // chop off a row -> missing configurations
-        let truncated: String = csv
-            .lines()
-            .take(d.len())
-            .collect::<Vec<_>>()
-            .join("
-");
+        let truncated: String = csv.lines().take(d.len()).collect::<Vec<_>>().join(
+            "
+",
+        );
         let err = PerfDataset::from_csv(&truncated).unwrap_err();
         assert!(err.contains("missing"), "{err}");
         // duplicate a row

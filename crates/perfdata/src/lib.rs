@@ -20,7 +20,7 @@
 //!   in our datasets is almost exclusively less than ten seconds");
 //! * the best configuration differs between sizes (tiling/packing tradeoffs
 //!   shift with the working-set-to-cache ratio), making the two sizes
-//!   "highly similar yet novel prediction task[s]";
+//!   "highly similar yet novel prediction task\[s\]";
 //! * a boosted-tree model can fit the data to the paper's Table I quality
 //!   band, but not perfectly (multiplicative noise bounds attainable R2).
 //!

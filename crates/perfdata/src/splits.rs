@@ -66,7 +66,11 @@ pub fn icl_replicas(
                 .collect();
             let query = queries[r].clone();
             let truth = dataset.runtime_of(&query);
-            IclSet { examples, query, truth }
+            IclSet {
+                examples,
+                query,
+                truth,
+            }
         })
         .collect()
 }
@@ -94,7 +98,11 @@ pub fn curated_icl_replicas(
                     (c, r)
                 })
                 .collect();
-            IclSet { examples, query, truth }
+            IclSet {
+                examples,
+                query,
+                truth,
+            }
         })
         .collect()
 }
@@ -119,7 +127,10 @@ mod tests {
             assert_eq!(s.num_examples(), 10);
             assert!(!s.query_leaks(), "query must not appear in examples");
             for (c, r) in &s.examples {
-                assert!(seen.insert(d.space().index_of(c)), "example reused across replicas");
+                assert!(
+                    seen.insert(d.space().index_of(c)),
+                    "example reused across replicas"
+                );
                 assert_eq!(*r, d.runtime_of(c), "labels come from the dataset");
             }
         }
@@ -181,8 +192,11 @@ mod tests {
             sets.iter().map(|s| d.space().index_of(&s.query)).collect();
         assert!(queries.len() >= 3, "queries should (almost) always differ");
         for s in &sets {
-            let uniq: std::collections::HashSet<_> =
-                s.examples.iter().map(|(c, _)| d.space().index_of(c)).collect();
+            let uniq: std::collections::HashSet<_> = s
+                .examples
+                .iter()
+                .map(|(c, _)| d.space().index_of(c))
+                .collect();
             assert_eq!(uniq.len(), s.num_examples(), "no duplicate examples");
         }
     }

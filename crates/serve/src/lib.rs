@@ -1,0 +1,371 @@
+//! Continuous-batching inference service over [`lmpeel_lm::LanguageModel`]
+//! decode sessions.
+//!
+//! The papers this repo reproduces treat the LLM as a high-QPS sampling
+//! service queried by an outer optimization loop: LLAMBO fans each prompt
+//! out across sampling seeds, and the experiment grid re-decodes hundreds
+//! of (task, seed) cells whose prompts share long ICL prefixes. This crate
+//! is the serving layer that workload shape wants:
+//!
+//! * [`GenerateRequest`]s enter through a **bounded queue** with a
+//!   configurable [`BackpressurePolicy`] (block or reject);
+//! * a scheduler thread **continuously batches**: it admits requests
+//!   between decode steps, advances every in-flight generation one token
+//!   per round, and retires finished traces immediately — no
+//!   wait-for-the-batch barrier;
+//! * a per-substrate **prefix-cache trie** keyed on token ids makes
+//!   shared prompt prefixes pay prefill once: later requests fork the
+//!   cached session snapshot (a deep copy) and prefill only the remainder;
+//! * results return through per-request [`ResponseHandle`]s, and every
+//!   output is **deterministic and seed-stable**: traces are byte-identical
+//!   to sequential [`lmpeel_lm::generate_session`] regardless of admission
+//!   order or batch composition, because each request owns its session and
+//!   its `(seed, prompt_len)`-keyed RNG.
+//!
+//! ```
+//! use lmpeel_lm::{GenerateSpec, InductionLm, LanguageModel};
+//! use lmpeel_serve::{GenerateRequest, InferenceService};
+//! use std::sync::Arc;
+//!
+//! let model = Arc::new(InductionLm::paper(0));
+//! let prompt = model.tokenizer().encode("Performance: ");
+//! let service = InferenceService::builder()
+//!     .model("default", model)
+//!     .build();
+//! let handle = service
+//!     .submit(GenerateRequest::new("default", prompt, GenerateSpec::paper(1)))
+//!     .unwrap();
+//! let response = handle.wait().unwrap();
+//! assert!(!response.trace.steps.is_empty());
+//! ```
+
+#![warn(missing_docs)]
+
+mod request;
+mod scheduler;
+mod service;
+mod trie;
+
+pub use request::{BackpressurePolicy, GenerateRequest, GenerateResponse, RequestError};
+pub use service::{InferenceService, ResponseHandle, ServeStats, ServiceBuilder};
+pub use trie::{PrefixTrie, TrieStats};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lmpeel_lm::{generate, GenerateSpec, InductionLm, LanguageModel, LmError};
+    use std::sync::Arc;
+
+    fn icl_prompt(model: &InductionLm, values: &[&str]) -> Vec<lmpeel_tokenizer::TokenId> {
+        let mut p = String::new();
+        for v in values {
+            p.push_str(&format!(
+                "Hyperparameter configuration: outer_loop_tiling_factor is 80\n\
+                 Performance: {v}\n"
+            ));
+        }
+        p.push_str("Hyperparameter configuration: outer_loop_tiling_factor is 80\nPerformance: ");
+        model.tokenizer().encode(&p)
+    }
+
+    fn spec(seed: u64) -> GenerateSpec {
+        GenerateSpec::builder()
+            .max_tokens(6)
+            .seed(seed)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn service_output_matches_sequential_generate() {
+        let model = Arc::new(InductionLm::paper(0));
+        let prompt = icl_prompt(&model, &["0.0022155", "0.0051230"]);
+        let service = InferenceService::builder()
+            .model("default", model.clone())
+            .build();
+        for seed in 0..3 {
+            let expected = generate(&model, &prompt, &spec(seed)).unwrap();
+            let got = service
+                .generate(GenerateRequest::new("default", prompt.clone(), spec(seed)))
+                .unwrap();
+            assert_eq!(got.trace, expected, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn shared_prefixes_hit_the_cache() {
+        let model = Arc::new(InductionLm::paper(0));
+        let prompt = icl_prompt(&model, &["0.0022155"]);
+        let service = InferenceService::builder().model("default", model).build();
+        let a = service
+            .generate(GenerateRequest::new("default", prompt.clone(), spec(0)))
+            .unwrap();
+        assert_eq!(a.reused_tokens, 0, "first request misses");
+        assert_eq!(a.prefilled_tokens, prompt.len());
+        let b = service
+            .generate(GenerateRequest::new("default", prompt.clone(), spec(1)))
+            .unwrap();
+        assert_eq!(b.reused_tokens, prompt.len(), "second request full-hits");
+        assert_eq!(b.prefilled_tokens, 0);
+    }
+
+    #[test]
+    fn model_seed_rekeys_like_a_per_seed_model() {
+        let base = Arc::new(InductionLm::paper(0));
+        let reseeded = Arc::new(InductionLm::paper(9));
+        let prompt = icl_prompt(&base, &["0.0022155", "0.0051230"]);
+        let service = InferenceService::builder().model("default", base).build();
+        let expected = generate(&reseeded, &prompt, &spec(2)).unwrap();
+        let got = service
+            .generate(GenerateRequest::new("default", prompt, spec(2)).with_model_seed(9))
+            .unwrap();
+        assert_eq!(got.trace, expected);
+    }
+
+    #[test]
+    fn unknown_substrate_is_rejected() {
+        let model = Arc::new(InductionLm::paper(0));
+        let prompt = icl_prompt(&model, &["0.0022155"]);
+        let service = InferenceService::builder().model("default", model).build();
+        let err = service
+            .generate(GenerateRequest::new("nope", prompt, spec(0)))
+            .unwrap_err();
+        assert_eq!(err, RequestError::UnknownSubstrate("nope".into()));
+    }
+
+    #[test]
+    fn rekey_unsupported_substrates_reject_seeded_requests() {
+        // A model with only the default FallbackSession, which cannot
+        // re-key.
+        struct Plain(lmpeel_tokenizer::Tokenizer);
+        impl LanguageModel for Plain {
+            fn tokenizer(&self) -> &lmpeel_tokenizer::Tokenizer {
+                &self.0
+            }
+            fn logits(&self, _c: &[lmpeel_tokenizer::TokenId]) -> Vec<f32> {
+                let mut l = vec![f32::NEG_INFINITY; self.0.vocab().len()];
+                l[0] = 0.0;
+                l
+            }
+            fn name(&self) -> String {
+                "plain".into()
+            }
+        }
+        let model = Arc::new(Plain(lmpeel_tokenizer::Tokenizer::paper()));
+        let prompt = model.0.encode("abc");
+        let service = InferenceService::builder().model("plain", model).build();
+        let err = service
+            .generate(GenerateRequest::new("plain", prompt.clone(), spec(0)).with_model_seed(3))
+            .unwrap_err();
+        assert_eq!(err, RequestError::RekeyUnsupported("plain".into()));
+        // Without a model seed the same request decodes fine.
+        assert!(service
+            .generate(GenerateRequest::new("plain", prompt, spec(0)))
+            .is_ok());
+    }
+
+    #[test]
+    fn decode_failures_surface_as_lm_errors() {
+        // A model that refuses every token: the first decode step hits
+        // EmptyVocab, which must come back as a rejected response rather
+        // than killing the scheduler thread.
+        struct Mute(lmpeel_tokenizer::Tokenizer);
+        impl LanguageModel for Mute {
+            fn tokenizer(&self) -> &lmpeel_tokenizer::Tokenizer {
+                &self.0
+            }
+            fn logits(&self, _c: &[lmpeel_tokenizer::TokenId]) -> Vec<f32> {
+                vec![f32::NEG_INFINITY; self.0.vocab().len()]
+            }
+            fn name(&self) -> String {
+                "mute".into()
+            }
+        }
+        let model = Arc::new(Mute(lmpeel_tokenizer::Tokenizer::paper()));
+        let prompt = model.0.encode("abc");
+        let service = InferenceService::builder().model("mute", model).build();
+        let err = service
+            .generate(GenerateRequest::new(
+                "mute",
+                prompt.clone(),
+                GenerateSpec::paper(0),
+            ))
+            .unwrap_err();
+        assert_eq!(err, RequestError::Lm(LmError::EmptyVocab));
+        // The scheduler survives: a later request is still answered.
+        let err = service
+            .generate(GenerateRequest::new("mute", prompt, GenerateSpec::paper(1)))
+            .unwrap_err();
+        assert_eq!(err, RequestError::Lm(LmError::EmptyVocab));
+    }
+
+    /// A model whose `logits` blocks until the test opens a gate, and
+    /// signals the test once the scheduler first enters it. Lets the
+    /// backpressure tests stall the scheduler deterministically.
+    struct GatedLm {
+        tok: lmpeel_tokenizer::Tokenizer,
+        gate: Arc<Gate>,
+    }
+
+    #[derive(Default)]
+    struct Gate {
+        state: std::sync::Mutex<GateState>,
+        cv: std::sync::Condvar,
+    }
+
+    #[derive(Default)]
+    struct GateState {
+        entered: bool,
+        open: bool,
+    }
+
+    impl Gate {
+        fn wait_entered(&self) {
+            let mut s = self.state.lock().unwrap();
+            while !s.entered {
+                s = self.cv.wait(s).unwrap();
+            }
+        }
+
+        fn open(&self) {
+            self.state.lock().unwrap().open = true;
+            self.cv.notify_all();
+        }
+    }
+
+    impl LanguageModel for GatedLm {
+        fn tokenizer(&self) -> &lmpeel_tokenizer::Tokenizer {
+            &self.tok
+        }
+        fn logits(&self, _c: &[lmpeel_tokenizer::TokenId]) -> Vec<f32> {
+            let mut s = self.gate.state.lock().unwrap();
+            s.entered = true;
+            self.gate.cv.notify_all();
+            while !s.open {
+                s = self.gate.cv.wait(s).unwrap();
+            }
+            vec![0.0; self.tok.vocab().len()]
+        }
+        fn name(&self) -> String {
+            "gated".into()
+        }
+    }
+
+    #[test]
+    fn reject_backpressure_fails_fast_when_the_queue_is_full() {
+        let gate = Arc::new(Gate::default());
+        let model = Arc::new(GatedLm {
+            tok: lmpeel_tokenizer::Tokenizer::paper(),
+            gate: Arc::clone(&gate),
+        });
+        let prompt = model.tok.encode("ab");
+        let service = InferenceService::builder()
+            .model("gated", model)
+            .queue_capacity(1)
+            .max_batch(1)
+            .backpressure(BackpressurePolicy::Reject)
+            .build();
+        let quick = GenerateSpec::builder()
+            .max_tokens(1)
+            .stop_tokens(vec![])
+            .build()
+            .unwrap();
+
+        // First request: admitted, then stalls inside logits on the gate.
+        let h1 = service
+            .submit(GenerateRequest::new("gated", prompt.clone(), quick.clone()))
+            .unwrap();
+        gate.wait_entered();
+        // Scheduler is stuck mid-decode with a full batch, so this one
+        // parks in the single queue slot...
+        let h2 = service
+            .submit(GenerateRequest::new("gated", prompt.clone(), quick.clone()))
+            .unwrap();
+        // ...and the next submit finds the queue full and sheds load.
+        let err = service
+            .submit(GenerateRequest::new("gated", prompt.clone(), quick.clone()))
+            .unwrap_err();
+        assert_eq!(err, RequestError::QueueFull);
+
+        gate.open();
+        assert!(h1.wait().is_ok());
+        assert!(h2.wait().is_ok());
+        let stats = service.stats();
+        assert_eq!(
+            stats.submitted, 2,
+            "the shed request never counted as submitted"
+        );
+        assert_eq!(stats.completed, 2);
+    }
+
+    #[test]
+    fn block_backpressure_is_lossless_past_the_queue_bound() {
+        // Queue of 1, batch of 1: submissions far beyond capacity must all
+        // park and eventually complete rather than erroring.
+        let model = Arc::new(InductionLm::paper(0));
+        let prompt = icl_prompt(&model, &["0.0022155"]);
+        let service = InferenceService::builder()
+            .model("default", model)
+            .queue_capacity(1)
+            .max_batch(1)
+            .backpressure(BackpressurePolicy::Block)
+            .build();
+        let handles: Vec<_> = (0..6)
+            .map(|seed| {
+                service
+                    .submit(GenerateRequest::new("default", prompt.clone(), spec(seed)))
+                    .unwrap()
+            })
+            .collect();
+        for h in handles {
+            assert!(h.wait().is_ok());
+        }
+        assert_eq!(service.stats().completed, 6);
+    }
+
+    #[test]
+    fn stats_track_the_lifecycle() {
+        let model = Arc::new(InductionLm::paper(0));
+        let prompt = icl_prompt(&model, &["0.0022155"]);
+        let service = InferenceService::builder().model("default", model).build();
+        for seed in 0..3 {
+            service
+                .generate(GenerateRequest::new("default", prompt.clone(), spec(seed)))
+                .unwrap();
+        }
+        let _ = service
+            .generate(GenerateRequest::new("nope", prompt.clone(), spec(0)))
+            .unwrap_err();
+        let stats = service.stats();
+        assert_eq!(stats.submitted, 4);
+        assert_eq!(stats.completed, 3);
+        assert_eq!(stats.failed, 1);
+        assert_eq!(stats.prefix.misses, 1);
+        assert_eq!(stats.prefix.full_hits, 2);
+        assert_eq!(stats.prefix.tokens_reused, 2 * prompt.len() as u64);
+        assert_eq!(stats.prefix.tokens_prefilled, prompt.len() as u64);
+    }
+
+    #[test]
+    fn concurrent_batched_requests_all_match_sequential() {
+        // Submit a pile of requests before waiting on any handle, so the
+        // scheduler genuinely interleaves them in one batch.
+        let model = Arc::new(InductionLm::paper(0));
+        let prompt = icl_prompt(&model, &["0.0022155", "0.0051230", "0.0031999"]);
+        let service = InferenceService::builder()
+            .model("default", model.clone())
+            .max_batch(8)
+            .build();
+        let handles: Vec<_> = (0..8)
+            .map(|seed| {
+                service
+                    .submit(GenerateRequest::new("default", prompt.clone(), spec(seed)))
+                    .unwrap()
+            })
+            .collect();
+        for (seed, h) in handles.into_iter().enumerate() {
+            let expected = generate(&model, &prompt, &spec(seed as u64)).unwrap();
+            assert_eq!(h.wait().unwrap().trace, expected, "seed {seed}");
+        }
+    }
+}

@@ -1,0 +1,146 @@
+//! Request/response surface of the inference service.
+
+use lmpeel_lm::{GenerateSpec, GenerationTrace, LmError};
+use lmpeel_tokenizer::TokenId;
+
+/// One generation request submitted to the service.
+#[derive(Debug, Clone)]
+pub struct GenerateRequest {
+    /// Which registered model handles the request (the service can host
+    /// several substrates side by side).
+    pub substrate: String,
+    /// Prompt token ids. Requests sharing a prompt prefix on the same
+    /// substrate share its prefill through the prefix cache.
+    pub prompt: Vec<TokenId>,
+    /// Decoding parameters (already validated by the spec builder; the
+    /// scheduler re-validates at admission).
+    pub spec: GenerateSpec,
+    /// Re-key the decode session's seed-dependent logit state to this seed
+    /// before decoding, as if the substrate model had been constructed with
+    /// it. Substrates that cannot re-key reject the request with
+    /// [`RequestError::RekeyUnsupported`] so the caller can fall back to a
+    /// per-seed model.
+    pub model_seed: Option<u64>,
+}
+
+impl GenerateRequest {
+    /// Request against `substrate` with no model re-keying.
+    pub fn new(substrate: impl Into<String>, prompt: Vec<TokenId>, spec: GenerateSpec) -> Self {
+        Self {
+            substrate: substrate.into(),
+            prompt,
+            spec,
+            model_seed: None,
+        }
+    }
+
+    /// Ask the scheduler to re-key the session to `seed` before decoding.
+    pub fn with_model_seed(mut self, seed: u64) -> Self {
+        self.model_seed = Some(seed);
+        self
+    }
+}
+
+/// A finished generation, with prefix-cache accounting for this request.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GenerateResponse {
+    /// The trace — byte-identical to what sequential
+    /// [`lmpeel_lm::generate_session`] would have produced for the same
+    /// prompt, spec and (re-keyed) model.
+    pub trace: GenerationTrace,
+    /// Prompt tokens recovered from the prefix cache instead of prefilled.
+    pub reused_tokens: usize,
+    /// Prompt tokens this request actually prefilled
+    /// (`prompt.len() - reused_tokens`).
+    pub prefilled_tokens: usize,
+}
+
+/// Why a request was rejected or lost.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RequestError {
+    /// The request named a substrate no model was registered under.
+    UnknownSubstrate(String),
+    /// `model_seed` was set but the substrate's sessions cannot re-key
+    /// (the seed is baked into the weights). The payload names the
+    /// substrate; callers should fall back to a per-seed model.
+    RekeyUnsupported(String),
+    /// The bounded request queue was full and the service runs the
+    /// [`BackpressurePolicy::Reject`] policy.
+    QueueFull,
+    /// The service shut down before the request completed.
+    ShutDown,
+    /// The decode itself failed (empty vocabulary, invalid spec, ...).
+    Lm(LmError),
+}
+
+impl std::fmt::Display for RequestError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RequestError::UnknownSubstrate(name) => {
+                write!(f, "no model registered under substrate {name:?}")
+            }
+            RequestError::RekeyUnsupported(name) => {
+                write!(
+                    f,
+                    "substrate {name:?} cannot re-key sessions; use a per-seed model"
+                )
+            }
+            RequestError::QueueFull => write!(f, "request queue full (reject backpressure)"),
+            RequestError::ShutDown => write!(f, "inference service shut down"),
+            RequestError::Lm(e) => write!(f, "decode failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for RequestError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            RequestError::Lm(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<LmError> for RequestError {
+    fn from(e: LmError) -> Self {
+        RequestError::Lm(e)
+    }
+}
+
+/// What `submit` does when the bounded request queue is full.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum BackpressurePolicy {
+    /// Block the submitting thread until the scheduler drains a slot.
+    /// Lossless; the natural choice for batch experiment drivers.
+    #[default]
+    Block,
+    /// Fail fast with [`RequestError::QueueFull`]. The choice for
+    /// latency-sensitive callers that would rather shed load.
+    Reject,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_display_their_context() {
+        assert!(RequestError::UnknownSubstrate("x".into())
+            .to_string()
+            .contains("\"x\""));
+        assert!(RequestError::RekeyUnsupported("y".into())
+            .to_string()
+            .contains("per-seed"));
+        assert!(RequestError::from(LmError::EmptyVocab)
+            .to_string()
+            .contains("decode failed"));
+    }
+
+    #[test]
+    fn request_builder_sets_the_seed() {
+        let spec = GenerateSpec::paper(0);
+        let r = GenerateRequest::new("default", vec![1, 2], spec).with_model_seed(7);
+        assert_eq!(r.model_seed, Some(7));
+        assert_eq!(r.substrate, "default");
+    }
+}

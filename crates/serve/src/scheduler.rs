@@ -1,0 +1,242 @@
+//! The continuous-batching scheduler loop.
+//!
+//! One thread owns every model, the per-substrate prefix tries and the set
+//! of in-flight generations. Its loop:
+//!
+//! 1. **Admit** — pull requests off the bounded channel until the batch is
+//!    full. Blocks when nothing is in flight (idle service burns no CPU),
+//!    polls non-blocking otherwise so decoding never stalls on an empty
+//!    queue. Admission resolves the model, consults the prefix trie
+//!    (fork on hit, fresh session on miss), prefills the remainder, caches
+//!    a snapshot for the next request, re-keys if asked, and wraps the
+//!    session in a [`GenerationStepper`].
+//! 2. **Step** — advance every in-flight stepper by exactly one token.
+//! 3. **Retire** — finished (or errored) generations send their result over
+//!    the per-request response channel immediately and free their slot.
+//!
+//! Interleaving cannot change any request's bytes: each stepper owns its
+//! session and RNG (keyed by `(spec.seed, prompt_len)` exactly as the
+//! sequential loop), so the only cross-request coupling is the trie — and
+//! forking a cached snapshot then extending it yields the same state as
+//! prefilling from scratch (PR 1's fork/extend equivalence suites), which
+//! the determinism proptests in `tests/` re-verify end to end.
+
+use crate::request::{GenerateRequest, GenerateResponse, RequestError};
+use crate::service::ServeStats;
+use crate::trie::PrefixTrie;
+use lmpeel_lm::{GenerationStepper, LanguageModel, LmError};
+use std::collections::HashMap;
+use std::sync::mpsc::{Receiver, Sender, TryRecvError};
+use std::sync::{Arc, Mutex};
+
+/// A request plus its response channel, as queued by `submit`.
+pub(crate) struct Envelope {
+    pub request: GenerateRequest,
+    pub responder: Sender<Result<GenerateResponse, RequestError>>,
+}
+
+pub(crate) struct SchedulerConfig {
+    /// Maximum generations decoded concurrently.
+    pub max_batch: usize,
+    /// Snapshot capacity of each substrate's prefix trie.
+    pub trie_capacity: usize,
+}
+
+/// One in-flight generation.
+struct Inflight {
+    stepper: GenerationStepper,
+    responder: Sender<Result<GenerateResponse, RequestError>>,
+    reused_tokens: usize,
+    prefilled_tokens: usize,
+    error: Option<LmError>,
+}
+
+impl Inflight {
+    fn step(&mut self) {
+        if self.error.is_none() {
+            if let Err(e) = self.stepper.step() {
+                self.error = Some(e);
+            }
+        }
+    }
+
+    fn done(&self) -> bool {
+        self.error.is_some() || self.stepper.is_finished()
+    }
+
+    fn finish(
+        self,
+    ) -> (
+        Sender<Result<GenerateResponse, RequestError>>,
+        Result<GenerateResponse, RequestError>,
+    ) {
+        let result = match self.error {
+            Some(e) => Err(RequestError::Lm(e)),
+            None => Ok(GenerateResponse {
+                trace: self.stepper.into_trace(),
+                reused_tokens: self.reused_tokens,
+                prefilled_tokens: self.prefilled_tokens,
+            }),
+        };
+        (self.responder, result)
+    }
+}
+
+pub(crate) struct Scheduler {
+    rx: Receiver<Envelope>,
+    models: HashMap<String, Arc<dyn LanguageModel>>,
+    tries: HashMap<String, PrefixTrie>,
+    cfg: SchedulerConfig,
+    inflight: Vec<Inflight>,
+    stats: Arc<Mutex<ServeStats>>,
+}
+
+impl Scheduler {
+    pub fn new(
+        rx: Receiver<Envelope>,
+        models: HashMap<String, Arc<dyn LanguageModel>>,
+        cfg: SchedulerConfig,
+        stats: Arc<Mutex<ServeStats>>,
+    ) -> Self {
+        let tries = models
+            .keys()
+            .map(|name| (name.clone(), PrefixTrie::new(cfg.trie_capacity)))
+            .collect();
+        Self {
+            rx,
+            models,
+            tries,
+            cfg,
+            inflight: Vec::new(),
+            stats,
+        }
+    }
+
+    /// The scheduler loop; returns when every submit handle is dropped and
+    /// the last in-flight generation has retired.
+    pub fn run(mut self) {
+        let mut disconnected = false;
+        loop {
+            while !disconnected && self.inflight.len() < self.cfg.max_batch {
+                if self.inflight.is_empty() {
+                    // Idle: block until work arrives or the service drops.
+                    match self.rx.recv() {
+                        Ok(env) => self.admit(env),
+                        Err(_) => disconnected = true,
+                    }
+                } else {
+                    // Busy: top up the batch without stalling the decode.
+                    match self.rx.try_recv() {
+                        Ok(env) => self.admit(env),
+                        Err(TryRecvError::Empty) => break,
+                        Err(TryRecvError::Disconnected) => disconnected = true,
+                    }
+                }
+            }
+            self.publish_trie_stats();
+            if self.inflight.is_empty() {
+                if disconnected {
+                    return;
+                }
+                // Everything admitted this round was rejected; go back to
+                // blocking on the queue.
+                continue;
+            }
+            self.step_round();
+            self.publish_trie_stats();
+        }
+    }
+
+    /// Advance every in-flight generation one token, then retire the
+    /// finished ones immediately.
+    fn step_round(&mut self) {
+        for w in &mut self.inflight {
+            w.step();
+        }
+        let mut i = 0;
+        while i < self.inflight.len() {
+            if self.inflight[i].done() {
+                let w = self.inflight.swap_remove(i);
+                let (responder, result) = w.finish();
+                // Settle the counters *before* the response lands: a caller
+                // reading stats() right after wait() must see this request.
+                {
+                    let mut stats = self.stats.lock().expect("stats lock");
+                    if result.is_ok() {
+                        stats.completed += 1;
+                    } else {
+                        stats.failed += 1;
+                    }
+                }
+                // A dropped handle just means the caller stopped caring.
+                let _ = responder.send(result);
+            } else {
+                i += 1;
+            }
+        }
+    }
+
+    fn reject(&self, responder: Sender<Result<GenerateResponse, RequestError>>, e: RequestError) {
+        self.stats.lock().expect("stats lock").failed += 1;
+        let _ = responder.send(Err(e));
+    }
+
+    fn admit(&mut self, env: Envelope) {
+        let Envelope { request, responder } = env;
+        let Some(model) = self.models.get(&request.substrate) else {
+            self.reject(responder, RequestError::UnknownSubstrate(request.substrate));
+            return;
+        };
+        let trie = self
+            .tries
+            .get_mut(&request.substrate)
+            .expect("trie per model");
+
+        let (mut session, reused) = match trie.lookup(&request.prompt) {
+            Some((fork, depth)) => (fork, depth),
+            None => (Arc::clone(model).session(), 0),
+        };
+        let prefilled = request.prompt.len() - reused;
+        session.extend(&request.prompt[reused..]);
+        trie.note_prefilled(prefilled as u64);
+        if prefilled > 0 {
+            // Cache the substrate-keyed state *before* any re-keying so
+            // later requests always fork model-default jitter.
+            trie.insert(&request.prompt, session.fork());
+        }
+
+        if let Some(seed) = request.model_seed {
+            if !session.rekey(seed) {
+                self.reject(responder, RequestError::RekeyUnsupported(request.substrate));
+                return;
+            }
+        }
+
+        match GenerationStepper::new(session, request.spec) {
+            Ok(stepper) => self.inflight.push(Inflight {
+                stepper,
+                responder,
+                reused_tokens: reused,
+                prefilled_tokens: prefilled,
+                error: None,
+            }),
+            Err(e) => self.reject(responder, RequestError::Lm(e)),
+        }
+    }
+
+    /// Copy the per-substrate trie counters into the shared stats block.
+    /// Called after retirement so `stats()` readers see settled numbers.
+    pub fn publish_trie_stats(&self) {
+        let mut stats = self.stats.lock().expect("stats lock");
+        stats.prefix = Default::default();
+        for trie in self.tries.values() {
+            let t = trie.stats();
+            stats.prefix.full_hits += t.full_hits;
+            stats.prefix.partial_hits += t.partial_hits;
+            stats.prefix.misses += t.misses;
+            stats.prefix.tokens_reused += t.tokens_reused;
+            stats.prefix.tokens_prefilled += t.tokens_prefilled;
+            stats.prefix.evictions += t.evictions;
+        }
+    }
+}

@@ -1,0 +1,198 @@
+//! The service facade: builder, submit handles, stats, shutdown.
+
+use crate::request::{BackpressurePolicy, GenerateRequest, GenerateResponse, RequestError};
+use crate::scheduler::{Envelope, Scheduler, SchedulerConfig};
+use crate::trie::TrieStats;
+use lmpeel_lm::LanguageModel;
+use std::collections::HashMap;
+use std::sync::mpsc::{self, Receiver, SyncSender, TrySendError};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+
+/// Service-level counters, readable at any time via
+/// [`InferenceService::stats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServeStats {
+    /// Requests accepted onto the queue.
+    pub submitted: u64,
+    /// Requests that finished with a trace.
+    pub completed: u64,
+    /// Requests rejected or failed at any stage past the queue.
+    pub failed: u64,
+    /// Prefix-cache accounting summed over all substrates.
+    pub prefix: TrieStats,
+}
+
+/// Configures and spawns an [`InferenceService`].
+pub struct ServiceBuilder {
+    models: HashMap<String, Arc<dyn LanguageModel>>,
+    queue_capacity: usize,
+    policy: BackpressurePolicy,
+    max_batch: usize,
+    trie_capacity: usize,
+}
+
+impl Default for ServiceBuilder {
+    fn default() -> Self {
+        Self {
+            models: HashMap::new(),
+            queue_capacity: 64,
+            policy: BackpressurePolicy::default(),
+            max_batch: 16,
+            trie_capacity: 32,
+        }
+    }
+}
+
+impl ServiceBuilder {
+    /// Fresh builder with the defaults (queue 64, blocking backpressure,
+    /// batch 16, 32 cached prefixes per substrate).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register `model` under `substrate`; requests name it by this key.
+    pub fn model(mut self, substrate: impl Into<String>, model: Arc<dyn LanguageModel>) -> Self {
+        self.models.insert(substrate.into(), model);
+        self
+    }
+
+    /// Bound of the request queue (minimum 1).
+    pub fn queue_capacity(mut self, capacity: usize) -> Self {
+        self.queue_capacity = capacity.max(1);
+        self
+    }
+
+    /// What `submit` does when the queue is full.
+    pub fn backpressure(mut self, policy: BackpressurePolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Maximum generations decoded concurrently (minimum 1).
+    pub fn max_batch(mut self, max_batch: usize) -> Self {
+        self.max_batch = max_batch.max(1);
+        self
+    }
+
+    /// Snapshot capacity of each substrate's prefix cache (0 disables).
+    pub fn prefix_cache_capacity(mut self, capacity: usize) -> Self {
+        self.trie_capacity = capacity;
+        self
+    }
+
+    /// Spawn the scheduler thread and return the running service.
+    pub fn build(self) -> InferenceService {
+        let (tx, rx) = mpsc::sync_channel(self.queue_capacity);
+        let stats = Arc::new(Mutex::new(ServeStats::default()));
+        let scheduler = Scheduler::new(
+            rx,
+            self.models,
+            SchedulerConfig {
+                max_batch: self.max_batch,
+                trie_capacity: self.trie_capacity,
+            },
+            Arc::clone(&stats),
+        );
+        let handle = std::thread::Builder::new()
+            .name("lmpeel-serve".into())
+            .spawn(move || scheduler.run())
+            .expect("spawn scheduler thread");
+        InferenceService {
+            tx: Some(tx),
+            policy: self.policy,
+            handle: Some(handle),
+            stats,
+        }
+    }
+}
+
+/// A running continuous-batching inference service.
+///
+/// Submission is thread-safe behind `&self`; results come back through
+/// per-request [`ResponseHandle`]s, so many callers can wait concurrently.
+/// Dropping the service closes the queue, lets in-flight work finish, and
+/// joins the scheduler thread.
+pub struct InferenceService {
+    tx: Option<SyncSender<Envelope>>,
+    policy: BackpressurePolicy,
+    handle: Option<JoinHandle<()>>,
+    stats: Arc<Mutex<ServeStats>>,
+}
+
+impl InferenceService {
+    /// Start configuring a service.
+    pub fn builder() -> ServiceBuilder {
+        ServiceBuilder::new()
+    }
+
+    /// Queue a request. Returns a handle to wait on; under the `Reject`
+    /// policy a full queue fails fast with [`RequestError::QueueFull`].
+    pub fn submit(&self, request: GenerateRequest) -> Result<ResponseHandle, RequestError> {
+        let tx = self.tx.as_ref().expect("sender lives until drop");
+        let (rtx, rrx) = mpsc::channel();
+        let env = Envelope {
+            request,
+            responder: rtx,
+        };
+        match self.policy {
+            BackpressurePolicy::Block => {
+                tx.send(env).map_err(|_| RequestError::ShutDown)?;
+            }
+            BackpressurePolicy::Reject => match tx.try_send(env) {
+                Ok(()) => {}
+                Err(TrySendError::Full(_)) => return Err(RequestError::QueueFull),
+                Err(TrySendError::Disconnected(_)) => return Err(RequestError::ShutDown),
+            },
+        }
+        self.stats.lock().expect("stats lock").submitted += 1;
+        Ok(ResponseHandle { rx: rrx })
+    }
+
+    /// Submit and wait: the one-call path for sequential callers.
+    pub fn generate(&self, request: GenerateRequest) -> Result<GenerateResponse, RequestError> {
+        self.submit(request)?.wait()
+    }
+
+    /// Current counters (settled after each scheduling round).
+    pub fn stats(&self) -> ServeStats {
+        *self.stats.lock().expect("stats lock")
+    }
+
+    /// Close the queue and join the scheduler after in-flight and queued
+    /// work drains. Dropping the service does the same implicitly.
+    pub fn shutdown(mut self) {
+        self.shutdown_inner();
+    }
+
+    fn shutdown_inner(&mut self) {
+        drop(self.tx.take());
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for InferenceService {
+    fn drop(&mut self) {
+        self.shutdown_inner();
+    }
+}
+
+/// The receiving end of one request's result.
+#[derive(Debug)]
+pub struct ResponseHandle {
+    rx: Receiver<Result<GenerateResponse, RequestError>>,
+}
+
+impl ResponseHandle {
+    /// Block until the generation finishes (or fails).
+    pub fn wait(self) -> Result<GenerateResponse, RequestError> {
+        self.rx.recv().unwrap_or(Err(RequestError::ShutDown))
+    }
+
+    /// Non-blocking poll; `None` while the request is still in flight.
+    pub fn try_wait(&self) -> Option<Result<GenerateResponse, RequestError>> {
+        self.rx.try_recv().ok()
+    }
+}

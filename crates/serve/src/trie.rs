@@ -1,0 +1,325 @@
+//! Prefix cache: a trie over prompt token ids holding forkable session
+//! snapshots.
+//!
+//! The paper's workload is pathologically prefix-heavy: every (task, seed)
+//! cell of the experiment grid re-sends the same multi-thousand-token ICL
+//! prompt, and the LLAMBO helpers fan one prompt out across sampling seeds.
+//! The trie makes the service pay each distinct prompt's prefill once: after
+//! a miss the scheduler inserts a snapshot of the freshly prefilled session
+//! at the prompt's end node, and subsequent requests fork it — a deep copy,
+//! so the cached snapshot is never mutated — and only prefill the remainder.
+//!
+//! Snapshots are stored at *prompt ends only* (not every node): interior
+//! nodes are just routing. Capacity is bounded; eviction is LRU by a logical
+//! tick counter (no wall clock — the whole stack must stay deterministic).
+
+use lmpeel_lm::DecodeSession;
+use lmpeel_tokenizer::TokenId;
+use std::collections::HashMap;
+
+/// Hit/miss accounting, exposed through the service's stats.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TrieStats {
+    /// Lookups where the full prompt was cached (zero prefill).
+    pub full_hits: u64,
+    /// Lookups that found a cached proper prefix of the prompt.
+    pub partial_hits: u64,
+    /// Lookups that found nothing.
+    pub misses: u64,
+    /// Prompt tokens recovered from snapshots across all lookups.
+    pub tokens_reused: u64,
+    /// Prompt tokens the scheduler actually prefilled.
+    pub tokens_prefilled: u64,
+    /// Snapshots dropped by LRU eviction.
+    pub evictions: u64,
+}
+
+struct Node {
+    children: HashMap<TokenId, usize>,
+    snapshot: Option<Snapshot>,
+}
+
+struct Snapshot {
+    session: Box<dyn DecodeSession>,
+    last_used: u64,
+}
+
+/// The prefix cache. One per registered substrate.
+pub struct PrefixTrie {
+    /// Arena of nodes; index 0 is the root (empty prefix).
+    nodes: Vec<Node>,
+    /// Maximum live snapshots; 0 disables caching entirely.
+    capacity: usize,
+    live: usize,
+    tick: u64,
+    stats: TrieStats,
+}
+
+impl PrefixTrie {
+    /// Empty trie holding at most `capacity` snapshots.
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            nodes: vec![Node {
+                children: HashMap::new(),
+                snapshot: None,
+            }],
+            capacity,
+            live: 0,
+            tick: 0,
+            stats: TrieStats::default(),
+        }
+    }
+
+    /// Fork the deepest cached snapshot whose prompt is a prefix of
+    /// `prompt`. Returns the fork and how many prompt tokens it already
+    /// contains; `None` on a miss. Accounting: a full-length match counts as
+    /// a full hit, any shorter one as a partial hit.
+    pub fn lookup(&mut self, prompt: &[TokenId]) -> Option<(Box<dyn DecodeSession>, usize)> {
+        let mut node = 0usize;
+        let mut best: Option<(usize, usize)> = None; // (node, depth)
+        if self.nodes[0].snapshot.is_some() {
+            best = Some((0, 0));
+        }
+        for (depth, &t) in prompt.iter().enumerate() {
+            match self.nodes[node].children.get(&t) {
+                Some(&next) => {
+                    node = next;
+                    if self.nodes[node].snapshot.is_some() {
+                        best = Some((node, depth + 1));
+                    }
+                }
+                None => break,
+            }
+        }
+        match best {
+            Some((node, depth)) => {
+                self.tick += 1;
+                let snap = self.nodes[node].snapshot.as_mut().expect("tracked above");
+                snap.last_used = self.tick;
+                if depth == prompt.len() {
+                    self.stats.full_hits += 1;
+                } else {
+                    self.stats.partial_hits += 1;
+                }
+                self.stats.tokens_reused += depth as u64;
+                Some((snap.session.fork(), depth))
+            }
+            None => {
+                self.stats.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Cache a snapshot of a session whose contents are exactly `prompt`.
+    /// Replaces any existing snapshot at that prompt; evicts the
+    /// least-recently-used snapshot when over capacity.
+    pub fn insert(&mut self, prompt: &[TokenId], session: Box<dyn DecodeSession>) {
+        if self.capacity == 0 {
+            return;
+        }
+        debug_assert_eq!(
+            session.tokens(),
+            prompt,
+            "snapshot must hold exactly the prompt"
+        );
+        let mut node = 0usize;
+        for &t in prompt {
+            node = match self.nodes[node].children.get(&t) {
+                Some(&next) => next,
+                None => {
+                    let next = self.nodes.len();
+                    self.nodes.push(Node {
+                        children: HashMap::new(),
+                        snapshot: None,
+                    });
+                    self.nodes[node].children.insert(t, next);
+                    next
+                }
+            };
+        }
+        self.tick += 1;
+        let fresh = self.nodes[node].snapshot.is_none();
+        self.nodes[node].snapshot = Some(Snapshot {
+            session,
+            last_used: self.tick,
+        });
+        if fresh {
+            self.live += 1;
+            if self.live > self.capacity {
+                self.evict_lru(node);
+            }
+        }
+    }
+
+    /// Record prompt tokens the scheduler prefilled for a request (kept
+    /// here so reuse and prefill counts live in one ledger).
+    pub fn note_prefilled(&mut self, tokens: u64) {
+        self.stats.tokens_prefilled += tokens;
+    }
+
+    /// Snapshot of the accounting counters.
+    pub fn stats(&self) -> TrieStats {
+        self.stats
+    }
+
+    /// Number of live snapshots.
+    pub fn len(&self) -> usize {
+        self.live
+    }
+
+    /// True when no snapshots are cached.
+    pub fn is_empty(&self) -> bool {
+        self.live == 0
+    }
+
+    fn evict_lru(&mut self, keep: usize) {
+        let victim = self
+            .nodes
+            .iter()
+            .enumerate()
+            .filter(|&(i, n)| i != keep && n.snapshot.is_some())
+            .min_by_key(|(_, n)| n.snapshot.as_ref().expect("filtered").last_used)
+            .map(|(i, _)| i);
+        if let Some(i) = victim {
+            self.nodes[i].snapshot = None;
+            self.live -= 1;
+            self.stats.evictions += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A trivial session for trie tests: tokens only, no model.
+    #[derive(Clone)]
+    struct StubSession {
+        tokens: Vec<TokenId>,
+    }
+
+    impl StubSession {
+        fn over(tokens: &[TokenId]) -> Box<dyn DecodeSession> {
+            Box::new(Self {
+                tokens: tokens.to_vec(),
+            })
+        }
+    }
+
+    impl DecodeSession for StubSession {
+        fn tokens(&self) -> &[TokenId] {
+            &self.tokens
+        }
+        fn append(&mut self, token: TokenId) {
+            self.tokens.push(token);
+        }
+        fn logits(&self) -> Vec<f32> {
+            vec![0.0; 4]
+        }
+        fn fork(&self) -> Box<dyn DecodeSession> {
+            Box::new(self.clone())
+        }
+    }
+
+    #[test]
+    fn miss_then_full_hit_then_partial_hit() {
+        let mut trie = PrefixTrie::new(4);
+        let prompt = vec![1, 2, 3];
+
+        assert!(trie.lookup(&prompt).is_none());
+        assert_eq!(trie.stats().misses, 1);
+
+        trie.insert(&prompt, StubSession::over(&prompt));
+        let (s, reused) = trie.lookup(&prompt).expect("full hit");
+        assert_eq!(reused, 3);
+        assert_eq!(s.tokens(), &prompt[..]);
+        assert_eq!(trie.stats().full_hits, 1);
+        assert_eq!(trie.stats().tokens_reused, 3);
+
+        // A longer prompt sharing the prefix: partial hit at depth 3.
+        let longer = vec![1, 2, 3, 4, 5];
+        let (s, reused) = trie.lookup(&longer).expect("partial hit");
+        assert_eq!(reused, 3);
+        assert_eq!(s.len(), 3);
+        assert_eq!(trie.stats().partial_hits, 1);
+        assert_eq!(trie.stats().tokens_reused, 6);
+
+        // A diverging prompt: miss (no snapshot on its path).
+        assert!(trie.lookup(&[9, 9]).is_none());
+        assert_eq!(trie.stats().misses, 2);
+    }
+
+    #[test]
+    fn deepest_snapshot_wins() {
+        let mut trie = PrefixTrie::new(4);
+        trie.insert(&[1], StubSession::over(&[1]));
+        trie.insert(&[1, 2, 3], StubSession::over(&[1, 2, 3]));
+        let (_, reused) = trie.lookup(&[1, 2, 3, 4]).expect("hit");
+        assert_eq!(
+            reused, 3,
+            "must fork the deepest prefix, not the shallowest"
+        );
+    }
+
+    #[test]
+    fn forks_do_not_mutate_the_snapshot() {
+        let mut trie = PrefixTrie::new(4);
+        trie.insert(&[1, 2], StubSession::over(&[1, 2]));
+        let (mut fork, _) = trie.lookup(&[1, 2]).unwrap();
+        fork.append(3);
+        let (again, _) = trie.lookup(&[1, 2]).unwrap();
+        assert_eq!(again.tokens(), &[1, 2], "snapshot must stay pristine");
+    }
+
+    #[test]
+    fn lru_eviction_drops_the_coldest_snapshot() {
+        let mut trie = PrefixTrie::new(2);
+        trie.insert(&[1], StubSession::over(&[1]));
+        trie.insert(&[2], StubSession::over(&[2]));
+        // Touch [1] so [2] becomes the LRU.
+        assert!(trie.lookup(&[1]).is_some());
+        trie.insert(&[3], StubSession::over(&[3]));
+        assert_eq!(trie.len(), 2);
+        assert_eq!(trie.stats().evictions, 1);
+        assert!(trie.lookup(&[2]).is_none(), "the cold snapshot was evicted");
+        assert!(trie.lookup(&[1]).is_some());
+        assert!(trie.lookup(&[3]).is_some());
+    }
+
+    #[test]
+    fn reinsert_replaces_without_eviction() {
+        let mut trie = PrefixTrie::new(1);
+        trie.insert(&[1], StubSession::over(&[1]));
+        trie.insert(&[1], StubSession::over(&[1]));
+        assert_eq!(trie.len(), 1);
+        assert_eq!(trie.stats().evictions, 0);
+    }
+
+    #[test]
+    fn zero_capacity_disables_caching() {
+        let mut trie = PrefixTrie::new(0);
+        trie.insert(&[1], StubSession::over(&[1]));
+        assert!(trie.is_empty());
+        assert!(trie.lookup(&[1]).is_none());
+    }
+
+    #[test]
+    fn empty_prompt_snapshot_lives_at_the_root() {
+        let mut trie = PrefixTrie::new(2);
+        trie.insert(&[], StubSession::over(&[]));
+        let (s, reused) = trie.lookup(&[7, 8]).expect("root hit");
+        assert_eq!(reused, 0);
+        assert!(s.is_empty());
+        // Zero-depth reuse of a non-empty prompt counts as partial.
+        assert_eq!(trie.stats().partial_hits, 1);
+    }
+
+    #[test]
+    fn prefill_ledger_accumulates() {
+        let mut trie = PrefixTrie::new(1);
+        trie.note_prefilled(10);
+        trie.note_prefilled(5);
+        assert_eq!(trie.stats().tokens_prefilled, 15);
+    }
+}

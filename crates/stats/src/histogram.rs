@@ -185,7 +185,11 @@ impl Histogram {
         let mut modes = 0;
         for i in 0..norm.len() {
             let left = if i == 0 { 0.0 } else { norm[i - 1] };
-            let right = if i + 1 == norm.len() { 0.0 } else { norm[i + 1] };
+            let right = if i + 1 == norm.len() {
+                0.0
+            } else {
+                norm[i + 1]
+            };
             if norm[i] >= min_mass && norm[i] >= left && norm[i] > right {
                 modes += 1;
             }
@@ -231,7 +235,10 @@ pub fn weighted_mean(pairs: &[(f64, f64)]) -> Option<f64> {
 ///
 /// Returns `None` if total weight is zero or the input is empty.
 pub fn weighted_quantile(pairs: &[(f64, f64)], q: f64) -> Option<f64> {
-    assert!((0.0..=1.0).contains(&q), "quantile must be in [0,1], got {q}");
+    assert!(
+        (0.0..=1.0).contains(&q),
+        "quantile must be in [0,1], got {q}"
+    );
     let total: f64 = pairs.iter().map(|&(_, w)| w).sum();
     if total <= 0.0 {
         return None;
@@ -260,7 +267,11 @@ mod tests {
 
     #[test]
     fn linear_binning_maps_edges_correctly() {
-        let spec = HistogramSpec::Linear { lo: 0.0, hi: 10.0, bins: 10 };
+        let spec = HistogramSpec::Linear {
+            lo: 0.0,
+            hi: 10.0,
+            bins: 10,
+        };
         assert_eq!(spec.bin_of(0.0), Some(0));
         assert_eq!(spec.bin_of(9.999), Some(9));
         assert_eq!(spec.bin_of(10.0), None);
@@ -270,7 +281,11 @@ mod tests {
 
     #[test]
     fn log_binning_is_uniform_in_log_space() {
-        let spec = HistogramSpec::Log { lo: 1.0, hi: 1000.0, bins: 3 };
+        let spec = HistogramSpec::Log {
+            lo: 1.0,
+            hi: 1000.0,
+            bins: 3,
+        };
         assert_eq!(spec.bin_of(1.5), Some(0));
         assert_eq!(spec.bin_of(15.0), Some(1));
         assert_eq!(spec.bin_of(150.0), Some(2));
@@ -281,7 +296,11 @@ mod tests {
 
     #[test]
     fn edges_partition_the_range() {
-        let spec = HistogramSpec::Linear { lo: -1.0, hi: 1.0, bins: 7 };
+        let spec = HistogramSpec::Linear {
+            lo: -1.0,
+            hi: 1.0,
+            bins: 7,
+        };
         let mut prev_hi = -1.0;
         for i in 0..7 {
             let (lo, hi) = spec.edges_of(i);
@@ -294,7 +313,11 @@ mod tests {
 
     #[test]
     fn weights_and_outliers_accumulate() {
-        let mut h = Histogram::new(HistogramSpec::Linear { lo: 0.0, hi: 1.0, bins: 2 });
+        let mut h = Histogram::new(HistogramSpec::Linear {
+            lo: 0.0,
+            hi: 1.0,
+            bins: 2,
+        });
         h.add_weighted(0.25, 2.0);
         h.add_weighted(0.75, 1.0);
         h.add_weighted(5.0, 4.0); // outlier
@@ -307,7 +330,11 @@ mod tests {
 
     #[test]
     fn mode_detection_finds_bimodal_shape() {
-        let mut h = Histogram::new(HistogramSpec::Linear { lo: 0.0, hi: 10.0, bins: 10 });
+        let mut h = Histogram::new(HistogramSpec::Linear {
+            lo: 0.0,
+            hi: 10.0,
+            bins: 10,
+        });
         for _ in 0..5 {
             h.add(1.5);
         }
@@ -321,7 +348,11 @@ mod tests {
 
     #[test]
     fn empty_histogram_behaviour() {
-        let h = Histogram::new(HistogramSpec::Linear { lo: 0.0, hi: 1.0, bins: 4 });
+        let h = Histogram::new(HistogramSpec::Linear {
+            lo: 0.0,
+            hi: 1.0,
+            bins: 4,
+        });
         assert_eq!(h.mode_bin(), None);
         assert!(h.normalized().iter().all(|&x| x == 0.0));
         assert_eq!(h.modes(0.0), 0);
@@ -347,7 +378,11 @@ mod tests {
 
     #[test]
     fn ascii_render_has_one_line_per_bin() {
-        let mut h = Histogram::new(HistogramSpec::Linear { lo: 0.0, hi: 1.0, bins: 3 });
+        let mut h = Histogram::new(HistogramSpec::Linear {
+            lo: 0.0,
+            hi: 1.0,
+            bins: 3,
+        });
         h.add(0.1);
         let art = h.ascii(20);
         assert_eq!(art.lines().count(), 3);

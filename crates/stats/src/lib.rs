@@ -25,7 +25,9 @@ pub mod rng;
 pub mod summary;
 
 pub use histogram::{Histogram, HistogramSpec};
-pub use metrics::{mae, mare, mse, msre, r2_score, relative_error, rmse, spearman, RegressionReport};
+pub use metrics::{
+    mae, mare, mse, msre, r2_score, relative_error, rmse, spearman, RegressionReport,
+};
 pub use needle::{needle_fraction, NeedleReport};
 pub use rng::{derive_seed, seeded_rng, SeedDomain};
 pub use summary::{CltInterval, Summary, Welford};

@@ -164,8 +164,16 @@ mod tests {
     #[test]
     fn dominance_matches_paper_claim_shape() {
         // XGBoost(100): 95 / 52 / 6; LLM oracle: ~50 / 20 / 3 (paper values)
-        let xgb = NeedleReport { within_50pct: 0.95, within_10pct: 0.52, within_1pct: 0.06 };
-        let llm = NeedleReport { within_50pct: 0.50, within_10pct: 0.20, within_1pct: 0.03 };
+        let xgb = NeedleReport {
+            within_50pct: 0.95,
+            within_10pct: 0.52,
+            within_1pct: 0.06,
+        };
+        let llm = NeedleReport {
+            within_50pct: 0.50,
+            within_10pct: 0.20,
+            within_1pct: 0.03,
+        };
         assert!(xgb.dominates(&llm));
         assert!(!llm.dominates(&xgb));
     }

@@ -36,7 +36,10 @@ impl Welford {
     /// Non-finite observations are counted separately by callers if needed;
     /// pushing a NaN poisons the mean, so debug builds assert finiteness.
     pub fn push(&mut self, x: f64) {
-        debug_assert!(x.is_finite(), "Welford::push requires finite samples, got {x}");
+        debug_assert!(
+            x.is_finite(),
+            "Welford::push requires finite samples, got {x}"
+        );
         self.n += 1;
         let delta = x - self.mean;
         self.mean += delta / self.n as f64;
@@ -213,8 +216,7 @@ mod tests {
         let xs = [0.1, 2.5, -3.0, 7.25, 0.0, 1.5];
         let s = Summary::of(&xs);
         let mean = xs.iter().sum::<f64>() / xs.len() as f64;
-        let var =
-            xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / (xs.len() - 1) as f64;
+        let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / (xs.len() - 1) as f64;
         assert!((s.mean - mean).abs() < 1e-12);
         assert!((s.std_dev - var.sqrt()).abs() < 1e-12);
         assert_eq!(s.min, -3.0);

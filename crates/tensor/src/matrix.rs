@@ -17,7 +17,11 @@ impl Tensor2 {
     /// Panics if either dimension is zero.
     pub fn zeros(rows: usize, cols: usize) -> Self {
         assert!(rows > 0 && cols > 0, "tensor dimensions must be positive");
-        Self { rows, cols, data: vec![0.0; rows * cols] }
+        Self {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
     }
 
     /// Build from a flat row-major vector.

@@ -173,7 +173,10 @@ mod tests {
         rope_rotate(&mut a, 3, 10_000.0);
         rope_rotate(&mut b, 4, 10_000.0);
         let norm = |v: &[f32]| v.iter().map(|x| x * x).sum::<f32>().sqrt();
-        assert!((norm(&a) - norm(&orig)).abs() < 1e-5, "rotation is an isometry");
+        assert!(
+            (norm(&a) - norm(&orig)).abs() < 1e-5,
+            "rotation is an isometry"
+        );
         assert_ne!(a, b, "different positions rotate differently");
         let mut zero = orig.clone();
         rope_rotate(&mut zero, 0, 10_000.0);

@@ -16,5 +16,5 @@
 pub mod tokenizer;
 pub mod vocab;
 
-pub use tokenizer::{Tokenizer, TokenSpan};
+pub use tokenizer::{TokenSpan, Tokenizer};
 pub use vocab::{TokenId, Vocab, BOS, EOS, ROLE_ASSISTANT, ROLE_SYSTEM, ROLE_USER};

@@ -94,7 +94,11 @@ impl Tokenizer {
                 let esc = format!("<0x{:02X}>", bytes[pos]);
                 (self.vocab.token_id(&esc).expect("byte token exists"), 1)
             });
-            out.push(TokenSpan { id, start: pos, end: pos + len });
+            out.push(TokenSpan {
+                id,
+                start: pos,
+                end: pos + len,
+            });
             pos += len;
         }
         out

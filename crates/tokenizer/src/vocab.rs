@@ -77,7 +77,11 @@ impl Vocab {
         for len in 2..=3 {
             let max = 10u32.pow(len);
             for v in 0..max {
-                push(&mut tokens, &mut index, format!("{v:0width$}", width = len as usize));
+                push(
+                    &mut tokens,
+                    &mut index,
+                    format!("{v:0width$}", width = len as usize),
+                );
             }
         }
 
@@ -99,7 +103,11 @@ impl Vocab {
                     first = false;
                     continue;
                 }
-                let key = if first { core.clone() } else { format!(" {core}") };
+                let key = if first {
+                    core.clone()
+                } else {
+                    format!(" {core}")
+                };
                 *freq.entry(key).or_insert(0) += 1;
                 // Also learn the space-prefixed variant of line-initial
                 // words and vice versa; both occur in running text.
@@ -120,7 +128,12 @@ impl Vocab {
         }
 
         let max_token_len = tokens.iter().map(|t| t.len()).max().unwrap_or(1);
-        Self { tokens, index, num_specials, max_token_len }
+        Self {
+            tokens,
+            index,
+            num_specials,
+            max_token_len,
+        }
     }
 
     /// The paper vocabulary: learned from the Figure-1 prompt templates.
@@ -264,7 +277,14 @@ mod tests {
     #[test]
     fn learned_words_include_prompt_keywords() {
         let v = Vocab::paper();
-        for w in [" Performance", " configuration", " size", " True", " False", " is"] {
+        for w in [
+            " Performance",
+            " configuration",
+            " size",
+            " True",
+            " False",
+            " is",
+        ] {
             assert!(v.token_id(w).is_some(), "expected learned token {w:?}");
         }
     }
@@ -310,6 +330,10 @@ mod tests {
         let tiny = Vocab::from_corpus("alpha beta gamma delta", 2);
         // only two learned word tokens beyond bytes+numerics+specials
         let baseline = Vocab::from_corpus("", 0);
-        assert!(tiny.len() <= baseline.len() + 2 + 7, "cap not enforced: {}", tiny.len());
+        assert!(
+            tiny.len() <= baseline.len() + 2 + 7,
+            "cap not enforced: {}",
+            tiny.len()
+        );
     }
 }

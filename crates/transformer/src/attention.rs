@@ -17,7 +17,10 @@ use rayon::prelude::*;
 pub fn causal_attention(q: &Tensor2, k: &Tensor2, v: &Tensor2, beta: f32) -> Tensor2 {
     assert_eq!(q.cols(), k.cols(), "query/key width mismatch");
     assert_eq!(k.rows(), v.rows(), "key/value height mismatch");
-    assert!(q.rows() <= k.rows(), "more queries than keys under causal masking");
+    assert!(
+        q.rows() <= k.rows(),
+        "more queries than keys under causal masking"
+    );
     let t = q.rows();
     let dv = v.cols();
     let mut out = Tensor2::zeros(t, dv);
@@ -41,7 +44,14 @@ pub fn causal_attention(q: &Tensor2, k: &Tensor2, v: &Tensor2, beta: f32) -> Ten
 
 /// One attention row: softmax(beta * <q_row, k_0..=limit>) mixing value
 /// rows into `out_row` (assumed zeroed).
-fn attend_row(out_row: &mut [f32], q_row: &[f32], k: &Tensor2, v: &Tensor2, beta: f32, limit: usize) {
+fn attend_row(
+    out_row: &mut [f32],
+    q_row: &[f32],
+    k: &Tensor2,
+    v: &Tensor2,
+    beta: f32,
+    limit: usize,
+) {
     let mut scores: Vec<f32> = (0..=limit).map(|j| beta * dot(q_row, k.row(j))).collect();
     softmax_in_place(&mut scores);
     for (j, &a) in scores.iter().enumerate() {
@@ -74,7 +84,10 @@ mod tests {
         let k = Tensor2::from_vec(2, 2, vec![1.0, 0.0, 0.0, 1.0]);
         let v = Tensor2::from_vec(2, 1, vec![10.0, 20.0]);
         let out = causal_attention(&q, &k, &v, 50.0);
-        assert!((out.get(0, 0) - 10.0).abs() < 1e-4, "row 0 must only see v0");
+        assert!(
+            (out.get(0, 0) - 10.0).abs() < 1e-4,
+            "row 0 must only see v0"
+        );
     }
 
     #[test]
@@ -84,7 +97,10 @@ mod tests {
         let v = Tensor2::from_vec(3, 1, vec![1.0, 2.0, 3.0]);
         let soft = causal_attention(&q, &k, &v, 1.0);
         let hard = causal_attention(&q, &k, &v, 100.0);
-        assert!((hard.get(0, 0) - 2.0).abs() < 1e-3, "hard attention picks key 1");
+        assert!(
+            (hard.get(0, 0) - 2.0).abs() < 1e-3,
+            "hard attention picks key 1"
+        );
         assert!((soft.get(0, 0) - 2.0).abs() > 0.05, "soft attention mixes");
     }
 
@@ -108,7 +124,10 @@ mod tests {
         for p in 0..4 {
             for c in 0..2 {
                 let x = out.get(p, c);
-                assert!((0.0..=3.0 + 1e-5).contains(&x), "out[{p},{c}]={x} not convex");
+                assert!(
+                    (0.0..=3.0 + 1e-5).contains(&x),
+                    "out[{p},{c}]={x} not convex"
+                );
             }
         }
     }

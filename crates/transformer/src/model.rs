@@ -92,7 +92,11 @@ impl InductionTransformer {
                 .row_mut(t)
                 .copy_from_slice(&token_signature(t as TokenId, cfg.d_sig));
         }
-        Self { tokenizer, cfg, signatures }
+        Self {
+            tokenizer,
+            cfg,
+            signatures,
+        }
     }
 
     /// Paper-vocabulary instance with default architecture.
@@ -135,8 +139,10 @@ impl InductionTransformer {
         let mut s0 = Tensor2::zeros(t, d_sig);
         let mut pos = Tensor2::zeros(t, d_pos);
         for (p, &tok) in context.iter().enumerate() {
-            s0.row_mut(p).copy_from_slice(self.signatures.row(tok as usize));
-            pos.row_mut(p).copy_from_slice(&position_encoding(p, self.cfg.rope_pairs));
+            s0.row_mut(p)
+                .copy_from_slice(self.signatures.row(tok as usize));
+            pos.row_mut(p)
+                .copy_from_slice(&position_encoding(p, self.cfg.rope_pairs));
         }
 
         // Layer 1: previous-token head. q_p = rotate_back(pos_p, 1).
@@ -216,7 +222,7 @@ impl LanguageModel for InductionTransformer {
         )
     }
 
-    fn session(&self) -> Box<dyn DecodeSession + '_> {
+    fn session(self: std::sync::Arc<Self>) -> Box<dyn DecodeSession> {
         Box::new(TransformerSession::new(self))
     }
 }
@@ -337,7 +343,10 @@ mod tests {
         let uni = InductionTransformer::paper();
         let bi = InductionTransformer::new(
             lmpeel_tokenizer::Tokenizer::paper(),
-            TransformerConfig { match_ngram: 2, ..TransformerConfig::default() },
+            TransformerConfig {
+                match_ngram: 2,
+                ..TransformerConfig::default()
+            },
         );
         let ids = uni.tokenizer().encode(text);
         let size_id = uni.tokenizer().vocab().token_id(" size").unwrap() as usize;
@@ -364,16 +373,17 @@ mod tests {
     #[test]
     fn generation_loop_runs_against_the_transformer() {
         use lmpeel_lm::{generate, GenerateSpec, Sampler};
-        let m = model();
+        let m = std::sync::Arc::new(model());
         let prompt = ids(&m, " outer middle inner outer");
-        let spec = GenerateSpec {
-            sampler: Sampler::greedy(),
-            max_tokens: 3,
-            stop_tokens: vec![],
-            trace_min_prob: 1e-4,
-            seed: 0,
-        };
-        let trace = generate(&m, &prompt, &spec);
+        let spec = GenerateSpec::builder()
+            .sampler(Sampler::greedy())
+            .max_tokens(3)
+            .stop_tokens(vec![])
+            .trace_min_prob(1e-4)
+            .seed(0)
+            .build()
+            .unwrap();
+        let trace = generate(&m, &prompt, &spec).unwrap();
         let text = trace.decode(m.tokenizer());
         assert!(
             text.starts_with(" middle"),

@@ -15,7 +15,8 @@
 //! asymptotic win a production KV cache gives a decoder-only transformer.
 //!
 //! The caches are persistent flat row-major buffers that only ever grow;
-//! neither `append` nor `logits` materializes per-call [`Tensor2`]s — the
+//! neither `append` nor `logits` materializes per-call
+//! [`Tensor2`](lmpeel_tensor::Tensor2)s — the
 //! attention rows are computed straight off the cached slices. The session
 //! implements [`DecodeSession`], so the generic generation loop and the
 //! experiment grid drive it through [`lmpeel_lm::LanguageModel::session`]
@@ -26,6 +27,7 @@ use crate::signature::{position_encoding, rotate_back};
 use lmpeel_lm::{DecodeSession, LanguageModel};
 use lmpeel_tensor::{matrix::dot, softmax_in_place};
 use lmpeel_tokenizer::TokenId;
+use std::sync::Arc;
 
 /// An incremental decoding session over an [`InductionTransformer`].
 ///
@@ -34,8 +36,8 @@ use lmpeel_tokenizer::TokenId;
 /// equivalence suite), for both `match_ngram` 1 and 2. An empty session
 /// yields the batch path's empty-context floor distribution.
 #[derive(Debug, Clone)]
-pub struct TransformerSession<'m> {
-    model: &'m InductionTransformer,
+pub struct TransformerSession {
+    model: Arc<InductionTransformer>,
     /// Tokens consumed so far.
     tokens: Vec<TokenId>,
     /// Cached token signatures (S0), flat `len x d_sig`.
@@ -49,15 +51,16 @@ pub struct TransformerSession<'m> {
     pos: Vec<f32>,
 }
 
-impl<'m> TransformerSession<'m> {
+impl TransformerSession {
     /// Start an empty session.
-    pub fn new(model: &'m InductionTransformer) -> Self {
+    pub fn new(model: Arc<InductionTransformer>) -> Self {
+        let s1b = (model.config().match_ngram >= 2).then(Vec::new);
         Self {
             model,
             tokens: Vec::new(),
             s0: Vec::new(),
             s1: Vec::new(),
-            s1b: (model.config().match_ngram >= 2).then(Vec::new),
+            s1b,
             pos: Vec::new(),
         }
     }
@@ -104,7 +107,7 @@ impl<'m> TransformerSession<'m> {
     }
 }
 
-impl DecodeSession for TransformerSession<'_> {
+impl DecodeSession for TransformerSession {
     fn tokens(&self) -> &[TokenId] {
         &self.tokens
     }
@@ -189,7 +192,7 @@ impl DecodeSession for TransformerSession<'_> {
         self.model.unembed(&s2)
     }
 
-    fn fork(&self) -> Box<dyn DecodeSession + '_> {
+    fn fork(&self) -> Box<dyn DecodeSession> {
         Box::new(self.clone())
     }
 
@@ -207,30 +210,41 @@ mod tests {
     use super::*;
     use lmpeel_tokenizer::Tokenizer;
 
-    fn model() -> InductionTransformer {
-        InductionTransformer::paper()
+    fn model() -> Arc<InductionTransformer> {
+        Arc::new(InductionTransformer::paper())
     }
 
-    fn bigram_model() -> InductionTransformer {
-        InductionTransformer::new(
+    fn bigram_model() -> Arc<InductionTransformer> {
+        Arc::new(InductionTransformer::new(
             Tokenizer::paper(),
-            TransformerConfig { match_ngram: 2, ..TransformerConfig::default() },
-        )
+            TransformerConfig {
+                match_ngram: 2,
+                ..TransformerConfig::default()
+            },
+        ))
     }
 
     fn max_abs_diff(a: &[f32], b: &[f32]) -> f32 {
-        a.iter().zip(b).map(|(x, y)| (x - y).abs()).fold(0.0f32, f32::max)
+        a.iter()
+            .zip(b)
+            .map(|(x, y)| (x - y).abs())
+            .fold(0.0f32, f32::max)
     }
 
     #[test]
     fn incremental_matches_batch_forward() {
         let m = model();
-        let ids = m.tokenizer().encode(" loop tile packing array loop tile size loop");
-        let mut session = TransformerSession::new(&m);
+        let ids = m
+            .tokenizer()
+            .encode(" loop tile packing array loop tile size loop");
+        let mut session = TransformerSession::new(m.clone());
         for (i, &tok) in ids.iter().enumerate() {
             session.append(tok);
             let diff = max_abs_diff(&session.logits(), &m.logits(&ids[..=i]));
-            assert!(diff < 1e-4, "prefix {i}: incremental/batch diverged by {diff}");
+            assert!(
+                diff < 1e-4,
+                "prefix {i}: incremental/batch diverged by {diff}"
+            );
         }
     }
 
@@ -240,11 +254,14 @@ mod tests {
         let ids = m
             .tokenizer()
             .encode(" loop tile size problem tile array loop tile");
-        let mut session = TransformerSession::new(&m);
+        let mut session = TransformerSession::new(m.clone());
         for (i, &tok) in ids.iter().enumerate() {
             session.append(tok);
             let diff = max_abs_diff(&session.logits(), &m.logits(&ids[..=i]));
-            assert!(diff < 1e-4, "prefix {i}: 2-gram incremental diverged by {diff}");
+            assert!(
+                diff < 1e-4,
+                "prefix {i}: 2-gram incremental diverged by {diff}"
+            );
         }
         // And the session reproduces the disambiguation the 2-gram circuit
         // exists for: after " loop tile" it must pick " size".
@@ -256,9 +273,9 @@ mod tests {
     fn extend_equals_repeated_append() {
         let m = model();
         let ids = m.tokenizer().encode(" outer middle inner outer");
-        let mut a = TransformerSession::new(&m);
+        let mut a = TransformerSession::new(m.clone());
         a.extend(&ids);
-        let mut b = TransformerSession::new(&m);
+        let mut b = TransformerSession::new(m.clone());
         for &t in &ids {
             b.append(t);
         }
@@ -269,7 +286,7 @@ mod tests {
     #[test]
     fn session_tracks_length() {
         let m = model();
-        let mut s = TransformerSession::new(&m);
+        let mut s = TransformerSession::new(m.clone());
         assert!(s.is_empty());
         s.append(10);
         s.append(11);
@@ -281,7 +298,7 @@ mod tests {
     #[test]
     fn empty_session_yields_the_floor_distribution() {
         let m = model();
-        let s = TransformerSession::new(&m);
+        let s = TransformerSession::new(m.clone());
         assert_eq!(s.logits(), m.logits(&[]));
     }
 
@@ -292,18 +309,21 @@ mod tests {
         // batch on a non-trivial context.
         let m = model();
         let ids = m.tokenizer().encode(" outer middle inner outer");
-        let mut s = m.session();
+        let mut s = m.clone().session();
         s.extend(&ids);
         let diff = max_abs_diff(&s.logits(), &m.logits(&ids));
         assert!(diff < 1e-4, "session() path diverged by {diff}");
-        assert!(s.rekey(7), "transformer sessions are seed-free, rekey is free");
+        assert!(
+            s.rekey(7),
+            "transformer sessions are seed-free, rekey is free"
+        );
     }
 
     #[test]
     fn fork_is_independent_of_parent() {
         let m = model();
         let ids = m.tokenizer().encode(" outer middle inner outer");
-        let mut parent = TransformerSession::new(&m);
+        let mut parent = TransformerSession::new(m.clone());
         parent.extend(&ids);
         let before = parent.logits();
         {
@@ -320,7 +340,7 @@ mod tests {
         // continuation must match the batch path.
         let m = model();
         let prompt = m.tokenizer().encode(" outer middle inner outer");
-        let mut session = TransformerSession::new(&m);
+        let mut session = TransformerSession::new(m.clone());
         session.extend(&prompt);
         let mut out = String::new();
         for _ in 0..2 {
@@ -348,7 +368,10 @@ mod tests {
                 .iter()
                 .filter_map(|s| v.token_id(s))
                 .collect();
-            stream.iter().map(|&i| alpha[i as usize % alpha.len()]).collect()
+            stream
+                .iter()
+                .map(|&i| alpha[i as usize % alpha.len()])
+                .collect()
         }
 
         proptest! {
@@ -358,7 +381,7 @@ mod tests {
             fn random_streams_agree_with_batch_unigram(stream in arb_stream()) {
                 let m = model();
                 let ids = to_ids(&m, &stream);
-                let mut s = TransformerSession::new(&m);
+                let mut s = TransformerSession::new(m.clone());
                 for (i, &tok) in ids.iter().enumerate() {
                     s.append(tok);
                     let diff = max_abs_diff(&s.logits(), &m.logits(&ids[..=i]));
@@ -370,7 +393,7 @@ mod tests {
             fn random_streams_agree_with_batch_bigram(stream in arb_stream()) {
                 let m = bigram_model();
                 let ids = to_ids(&m, &stream);
-                let mut s = TransformerSession::new(&m);
+                let mut s = TransformerSession::new(m.clone());
                 for (i, &tok) in ids.iter().enumerate() {
                     s.append(tok);
                     let diff = max_abs_diff(&s.logits(), &m.logits(&ids[..=i]));

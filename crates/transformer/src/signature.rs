@@ -62,7 +62,10 @@ pub fn position_encoding(pos: usize, pairs: usize) -> Vec<f32> {
 /// map (block-diagonal 2×2 rotations), i.e. `rotate_back(pos(p), s) =
 /// pos(p - s)` exactly.
 pub fn rotate_back(enc: &[f32], steps: usize) -> Vec<f32> {
-    assert!(enc.len().is_multiple_of(2), "encoding must consist of (cos, sin) pairs");
+    assert!(
+        enc.len().is_multiple_of(2),
+        "encoding must consist of (cos, sin) pairs"
+    );
     let pairs = enc.len() / 2;
     let freqs = frequencies(pairs);
     let mut out = Vec::with_capacity(enc.len());

@@ -29,7 +29,7 @@ fn main() {
         Box::new(RandomSearch),
         Box::new(GbdtSearch::default()),
         Box::new(LlmSearch {
-            model: InductionLm::paper(0),
+            model: std::sync::Arc::new(InductionLm::paper(0)),
             init_random: 8,
             pool: 4,
             max_icl: 20,

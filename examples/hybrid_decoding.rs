@@ -19,25 +19,30 @@ use lm_peel::tokenizer::EOS;
 fn main() {
     let dataset = PerfDataset::generate(&CostModel::paper(), ArraySize::SM);
     let builder = PromptBuilder::new(dataset.space().clone(), dataset.size());
-    let model = InductionLm::paper(0);
+    let model = std::sync::Arc::new(InductionLm::paper(0));
     let tok = model.tokenizer();
 
-    println!("query                plain-LLM     hybrid       truth      (rel err: plain vs hybrid)");
+    println!(
+        "query                plain-LLM     hybrid       truth      (rel err: plain vs hybrid)"
+    );
     let sets = icl_replicas(&dataset, 50, 6, 12);
     let mut plain_total = 0.0;
     let mut hybrid_total = 0.0;
     for (i, set) in sets.iter().enumerate() {
         // Plain: the LLM generates the digits itself.
         let ids = builder.for_icl_set(set).to_tokens(tok);
-        let spec = GenerateSpec {
-            sampler: Sampler::paper(),
-            max_tokens: 24,
-            stop_tokens: vec![tok.special(EOS)],
-            trace_min_prob: 1e-3,
-            seed: 0,
-        };
-        let trace = generate(&model, &ids, &spec);
-        let plain = extract_value(&trace.decode(tok)).map(|(v, _)| v).unwrap_or(0.0);
+        let spec = GenerateSpec::builder()
+            .sampler(Sampler::paper())
+            .max_tokens(24)
+            .stop_tokens(vec![tok.special(EOS)])
+            .trace_min_prob(1e-3)
+            .seed(0)
+            .build()
+            .unwrap();
+        let trace = generate(&model, &ids, &spec).unwrap();
+        let plain = extract_value(&trace.decode(tok))
+            .map(|(v, _)| v)
+            .unwrap_or(0.0);
 
         // Hybrid: the LLM signals, the boosted tree answers.
         let (hybrid_trace, hybrid) = hybrid_predict(&model, &builder, set, 0);

@@ -21,7 +21,12 @@ fn top_candidates<M: LanguageModel>(model: &M, text: &str, k: usize) -> Vec<(Str
     let tok = model.tokenizer();
     let ids = tok.encode(text);
     let logits = model.logits(&ids);
-    let dist = Sampler { temperature: 1.0, top_k: 0, top_p: 1.0 }.distribution(&logits);
+    let dist = Sampler {
+        temperature: 1.0,
+        top_k: 0,
+        top_p: 1.0,
+    }
+    .distribution(&logits);
     dist.into_iter()
         .take(k)
         .map(|(id, p)| (tok.vocab().token_str(id).to_string(), p))
@@ -47,8 +52,10 @@ fn main() {
     for seed in 0..3u64 {
         let lm = InductionLm::paper(seed);
         let cands = top_candidates(&lm, PROMPT, 4);
-        let rendered: Vec<String> =
-            cands.iter().map(|(t, p)| format!("{t:?} p={p:.4}")).collect();
+        let rendered: Vec<String> = cands
+            .iter()
+            .map(|(t, p)| format!("{t:?} p={p:.4}"))
+            .collect();
         println!("[{}]  {}", lm.name(), rendered.join("  "));
     }
     println!(

@@ -21,38 +21,50 @@ fn main() {
     let model = CostModel::paper();
 
     let configs = [
-        ("naive (huge tiles)", Syr2kConfig {
-            pack_a: false,
-            pack_b: false,
-            interchange: false,
-            tile_outer: 128,
-            tile_middle: 128,
-            tile_inner: 128,
-        }),
-        ("tiny tiles", Syr2kConfig {
-            pack_a: false,
-            pack_b: false,
-            interchange: false,
-            tile_outer: 4,
-            tile_middle: 4,
-            tile_inner: 4,
-        }),
-        ("tiled + packed", Syr2kConfig {
-            pack_a: true,
-            pack_b: true,
-            interchange: false,
-            tile_outer: 32,
-            tile_middle: 20,
-            tile_inner: 32,
-        }),
-        ("tiled + interchanged", Syr2kConfig {
-            pack_a: false,
-            pack_b: false,
-            interchange: true,
-            tile_outer: 32,
-            tile_middle: 32,
-            tile_inner: 50,
-        }),
+        (
+            "naive (huge tiles)",
+            Syr2kConfig {
+                pack_a: false,
+                pack_b: false,
+                interchange: false,
+                tile_outer: 128,
+                tile_middle: 128,
+                tile_inner: 128,
+            },
+        ),
+        (
+            "tiny tiles",
+            Syr2kConfig {
+                pack_a: false,
+                pack_b: false,
+                interchange: false,
+                tile_outer: 4,
+                tile_middle: 4,
+                tile_inner: 4,
+            },
+        ),
+        (
+            "tiled + packed",
+            Syr2kConfig {
+                pack_a: true,
+                pack_b: true,
+                interchange: false,
+                tile_outer: 32,
+                tile_middle: 20,
+                tile_inner: 32,
+            },
+        ),
+        (
+            "tiled + interchanged",
+            Syr2kConfig {
+                pack_a: false,
+                pack_b: false,
+                interchange: true,
+                tile_outer: 32,
+                tile_middle: 32,
+                tile_inner: 50,
+            },
+        ),
     ];
 
     println!("syr2k at size {size} (M={m}, N={n}); every variant is checked against");
@@ -62,8 +74,13 @@ fn main() {
         "configuration", "measured", "model estimate", "max |diff|"
     );
     for (name, cfg) in configs {
-        let (timing, result) =
-            measure(MeasureSpec { warmups: 1, repeats: 5 }, || problem.run_configured(cfg));
+        let (timing, result) = measure(
+            MeasureSpec {
+                warmups: 1,
+                repeats: 5,
+            },
+            || problem.run_configured(cfg),
+        );
         let diff = reference.max_abs_diff(&result);
         assert!(
             diff / reference.frobenius() < 1e-12,

@@ -27,22 +27,29 @@ fn main() {
     let builder = PromptBuilder::new(dataset.space().clone(), dataset.size());
     let prompt = builder.for_icl_set(&set);
     println!("\n--- prompt tail ---");
-    let tail: String = prompt.user.lines().rev().take(3).collect::<Vec<_>>().join("\n");
+    let tail: String = prompt
+        .user
+        .lines()
+        .rev()
+        .take(3)
+        .collect::<Vec<_>>()
+        .join("\n");
     println!("...{tail}\n{}", prompt.primer);
 
     // 3. Generate with the calibrated induction surrogate (logit access
     //    included, as in the paper's local-Llama harness).
-    let model = InductionLm::paper(0);
+    let model = std::sync::Arc::new(InductionLm::paper(0));
     let tok = model.tokenizer();
     let ids = prompt.to_tokens(tok);
-    let spec = GenerateSpec {
-        sampler: Sampler::paper(),
-        max_tokens: 24,
-        stop_tokens: vec![tok.vocab().token_id("\n").unwrap(), tok.special(EOS)],
-        trace_min_prob: 1e-3,
-        seed: 0,
-    };
-    let trace = generate(&model, &ids, &spec);
+    let spec = GenerateSpec::builder()
+        .sampler(Sampler::paper())
+        .max_tokens(24)
+        .stop_tokens(vec![tok.vocab().token_id("\n").unwrap(), tok.special(EOS)])
+        .trace_min_prob(1e-3)
+        .seed(0)
+        .build()
+        .unwrap();
+    let trace = generate(&model, &ids, &spec).unwrap();
     let response = trace.decode(tok);
     println!("--- model response ---\n{response:?}");
 

@@ -6,6 +6,7 @@ pub use lmpeel_gbdt as gbdt;
 pub use lmpeel_kernel as kernel;
 pub use lmpeel_lm as lm;
 pub use lmpeel_perfdata as perfdata;
+pub use lmpeel_serve as serve;
 pub use lmpeel_stats as stats;
 pub use lmpeel_tensor as tensor;
 pub use lmpeel_tokenizer as tokenizer;

@@ -4,9 +4,7 @@
 
 use lm_peel::configspace::ArraySize;
 use lm_peel::core::decoding::{value_distribution, value_span};
-use lm_peel::core::experiment::{
-    overall_report, run_plan, setting_reports, ExperimentPlan,
-};
+use lm_peel::core::experiment::{overall_report, run_plan, setting_reports, ExperimentPlan};
 use lm_peel::core::extract::extract_value;
 use lm_peel::core::prompt::PromptBuilder;
 use lm_peel::lm::{generate, GenerateSpec, InductionLm, LanguageModel, Sampler};
@@ -19,13 +17,14 @@ fn sm_dataset() -> PerfDataset {
 }
 
 fn gen_spec(tok: &lm_peel::tokenizer::Tokenizer, seed: u64) -> GenerateSpec {
-    GenerateSpec {
-        sampler: Sampler::paper(),
-        max_tokens: 24,
-        stop_tokens: vec![tok.vocab().token_id("\n").unwrap(), tok.special(EOS)],
-        trace_min_prob: 1e-3,
-        seed,
-    }
+    GenerateSpec::builder()
+        .sampler(Sampler::paper())
+        .max_tokens(24)
+        .stop_tokens(vec![tok.vocab().token_id("\n").unwrap(), tok.special(EOS)])
+        .trace_min_prob(1e-3)
+        .seed(seed)
+        .build()
+        .unwrap()
 }
 
 #[test]
@@ -33,9 +32,9 @@ fn induction_lm_predicts_a_plausible_sm_runtime() {
     let ds = sm_dataset();
     let set = icl_replicas(&ds, 10, 1, 3).remove(0);
     let builder = PromptBuilder::new(ds.space().clone(), ds.size());
-    let model = InductionLm::paper(0);
+    let model = std::sync::Arc::new(InductionLm::paper(0));
     let ids = builder.for_icl_set(&set).to_tokens(model.tokenizer());
-    let trace = generate(&model, &ids, &gen_spec(model.tokenizer(), 0));
+    let trace = generate(&model, &ids, &gen_spec(model.tokenizer(), 0)).unwrap();
     let text = trace.decode(model.tokenizer());
     let (v, _) = extract_value(&text).expect("extractable value");
     // SM runtimes are sub-second and the model "appropriately reflects
@@ -51,13 +50,14 @@ fn constructed_transformer_drives_the_same_pipeline() {
     let ds = sm_dataset();
     let set = icl_replicas(&ds, 5, 1, 5).remove(0);
     let builder = PromptBuilder::new(ds.space().clone(), ds.size());
-    let model = InductionTransformer::paper();
+    let model = std::sync::Arc::new(InductionTransformer::paper());
     let ids = builder.for_icl_set(&set).to_tokens(model.tokenizer());
-    let trace = generate(
-        &model,
-        &ids,
-        &GenerateSpec { sampler: Sampler::greedy(), ..gen_spec(model.tokenizer(), 0) },
-    );
+    let spec = gen_spec(model.tokenizer(), 0)
+        .to_builder()
+        .sampler(Sampler::greedy())
+        .build()
+        .unwrap();
+    let trace = generate(&model, &ids, &spec).unwrap();
     let text = trace.decode(model.tokenizer());
     // A 1-gram induction head copies whatever followed earlier occurrences
     // of the current token — on this prompt the most frequent follower of
@@ -80,10 +80,10 @@ fn value_haystack_contains_the_sampled_value() {
     let ds = sm_dataset();
     let set = icl_replicas(&ds, 20, 1, 9).remove(0);
     let builder = PromptBuilder::new(ds.space().clone(), ds.size());
-    let model = InductionLm::paper(1);
+    let model = std::sync::Arc::new(InductionLm::paper(1));
     let tok = model.tokenizer();
     let ids = builder.for_icl_set(&set).to_tokens(tok);
-    let trace = generate(&model, &ids, &gen_spec(tok, 1));
+    let trace = generate(&model, &ids, &gen_spec(tok, 1)).unwrap();
     let span = value_span(&trace, tok).expect("value span");
     let dist = value_distribution(&trace, span.clone(), tok, 50_000, 0);
     let sampled: String = trace.steps[span]
@@ -92,7 +92,9 @@ fn value_haystack_contains_the_sampled_value() {
         .collect();
     let sampled: f64 = sampled.parse().expect("well-formed sampled value");
     assert!(
-        dist.candidates.iter().any(|&(v, _)| (v - sampled).abs() < 1e-12),
+        dist.candidates
+            .iter()
+            .any(|&(v, _)| (v - sampled).abs() < 1e-12),
         "sampled value must be generable"
     );
     let mass: f64 = dist.candidates.iter().map(|&(_, w)| w).sum();
@@ -120,9 +122,9 @@ fn seeds_change_samples_but_not_the_candidate_sets() {
     let prompt = builder.for_icl_set(&set);
     let first_sets: Vec<Vec<u32>> = (0..3)
         .map(|seed| {
-            let model = InductionLm::paper(seed);
+            let model = std::sync::Arc::new(InductionLm::paper(seed));
             let ids = prompt.to_tokens(model.tokenizer());
-            let trace = generate(&model, &ids, &gen_spec(model.tokenizer(), seed));
+            let trace = generate(&model, &ids, &gen_spec(model.tokenizer(), seed)).unwrap();
             trace.steps[0].alternatives.iter().map(|a| a.id).collect()
         })
         .collect();

@@ -5,9 +5,7 @@
 //! numbers).
 
 use lm_peel::core::decoding::value_span;
-use lm_peel::core::experiment::{
-    overall_report, run_plan, setting_reports, ExperimentPlan,
-};
+use lm_peel::core::experiment::{overall_report, run_plan, setting_reports, ExperimentPlan};
 use lm_peel::core::tokenstats::TokenStatsTable;
 use lm_peel::lm::InductionLm;
 use lm_peel::perfdata::DatasetBundle;
@@ -27,7 +25,11 @@ fn suite() -> &'static Suite {
         let records = run_plan(&bundle, &ExperimentPlan::paper(), InductionLm::paper);
         let settings = setting_reports(&records);
         let overall = overall_report(&records, &settings);
-        Suite { records, settings, overall }
+        Suite {
+            records,
+            settings,
+            overall,
+        }
     })
 }
 
@@ -36,7 +38,11 @@ fn the_llm_fails_at_performance_prediction_overall() {
     // §IV-A: "the LLM produces a non-negative R2 score in only a quarter of
     // our experiments, with an average R2 score of -6.643".
     let s = suite();
-    assert!(s.overall.r2.mean < -1.0, "mean R2 {} should be clearly negative", s.overall.r2.mean);
+    assert!(
+        s.overall.r2.mean < -1.0,
+        "mean R2 {} should be clearly negative",
+        s.overall.r2.mean
+    );
     assert!(
         s.overall.frac_nonneg_r2 <= 0.35,
         "most settings must have negative R2, got {} non-negative",
@@ -66,7 +72,11 @@ fn error_magnitudes_match_the_clt_aggregates() {
         "mean MARE {} out of the paper's band",
         s.overall.mare.mean
     );
-    assert!(s.overall.msre.mean < 1.5, "mean MSRE {}", s.overall.msre.mean);
+    assert!(
+        s.overall.msre.mean < 1.5,
+        "mean MSRE {}",
+        s.overall.msre.mean
+    );
 }
 
 #[test]
@@ -114,7 +124,10 @@ fn curated_icl_does_not_rescue_the_model() {
             .collect();
         xs.iter().sum::<f64>() / xs.len() as f64
     };
-    assert!(curated_mean < 0.5, "curated mean R2 {curated_mean} suspiciously good");
+    assert!(
+        curated_mean < 0.5,
+        "curated mean R2 {curated_mean} suspiciously good"
+    );
 }
 
 #[test]
@@ -122,15 +135,28 @@ fn token_position_profile_matches_table_2() {
     let s = suite();
     let tok = Tokenizer::paper();
     let table = TokenStatsTable::aggregate(
-        s.records.iter().map(|r| (&r.trace, value_span(&r.trace, &tok))),
+        s.records
+            .iter()
+            .map(|r| (&r.trace, value_span(&r.trace, &tok))),
     );
-    assert!(table.rows.len() >= 5, "values span at least five token positions");
+    assert!(
+        table.rows.len() >= 5,
+        "values span at least five token positions"
+    );
     // Position 2 is always the period: exactly one selectable token.
     assert!((table.rows[1].mean - 1.0).abs() < 1e-9);
     assert_eq!(table.rows[1].std, 0.0);
     // Positions 3 and 4 carry the variability (tens to hundreds of options).
-    assert!(table.rows[2].mean > 20.0, "position 3 mean {}", table.rows[2].mean);
-    assert!(table.rows[3].mean > 50.0, "position 4 mean {}", table.rows[3].mean);
+    assert!(
+        table.rows[2].mean > 20.0,
+        "position 3 mean {}",
+        table.rows[2].mean
+    );
+    assert!(
+        table.rows[3].mean > 50.0,
+        "position 4 mean {}",
+        table.rows[3].mean
+    );
     assert!(
         table.rows[3].mean > table.rows[2].mean,
         "position 4 offers more options than position 3"

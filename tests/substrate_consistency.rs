@@ -24,9 +24,16 @@ fn kernel_and_cost_model_agree_on_packing_directionality() {
         tile_middle: 16,
         tile_inner: 16,
     };
-    let packed = Syr2kConfig { pack_a: true, pack_b: true, ..unpacked };
+    let packed = Syr2kConfig {
+        pack_a: true,
+        pack_b: true,
+        ..unpacked
+    };
     let gain = |size| model.runtime_exact(unpacked, size) / model.runtime_exact(packed, size);
-    assert!(gain(ArraySize::XL) > gain(ArraySize::SM), "packing gain grows with size");
+    assert!(
+        gain(ArraySize::XL) > gain(ArraySize::SM),
+        "packing gain grows with size"
+    );
 }
 
 #[test]
@@ -56,14 +63,20 @@ fn gbdt_learns_the_generated_dataset() {
         &ys,
         GbdtParams {
             n_estimators: 150,
-            tree: lm_peel::gbdt::TreeParams { max_depth: 10, ..Default::default() },
+            tree: lm_peel::gbdt::TreeParams {
+                max_depth: 10,
+                ..Default::default()
+            },
             ..Default::default()
         },
         0,
     );
     let (tx, ty) = ds.features_for(&test);
     let r2 = r2_score(&model.predict(&tx), &ty);
-    assert!(r2 > 0.5, "held-out R2 {r2} too weak for the Table I premise");
+    assert!(
+        r2 > 0.5,
+        "held-out R2 {r2} too weak for the Table I premise"
+    );
 }
 
 #[test]

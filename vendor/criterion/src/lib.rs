@@ -89,7 +89,9 @@ impl BenchmarkId {
 
     /// Parameter-only id.
     pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
-        Self { id: parameter.to_string() }
+        Self {
+            id: parameter.to_string(),
+        }
     }
 }
 
@@ -138,7 +140,10 @@ impl Default for Criterion {
         let filter = std::env::args()
             .skip(1)
             .find(|a| !a.starts_with('-') && a != "--bench");
-        Self { sample_size: 10, filter }
+        Self {
+            sample_size: 10,
+            filter,
+        }
     }
 }
 
@@ -282,7 +287,11 @@ mod tests {
 
     #[test]
     fn bencher_measures_something() {
-        let mut b = Bencher { iters_per_sample: 1, samples: Vec::new(), sample_count: 5 };
+        let mut b = Bencher {
+            iters_per_sample: 1,
+            samples: Vec::new(),
+            sample_count: 5,
+        };
         b.iter(|| (0..100u64).sum::<u64>());
         assert_eq!(b.samples.len(), 5);
         assert!(b.per_iter_nanos()[0] > 0.0);
@@ -296,7 +305,10 @@ mod tests {
 
     #[test]
     fn group_runs_and_prints() {
-        let mut c = Criterion { sample_size: 3, filter: None };
+        let mut c = Criterion {
+            sample_size: 3,
+            filter: None,
+        };
         let mut g = c.benchmark_group("g");
         g.sample_size(3);
         g.bench_function("noop", |b| b.iter(|| 1 + 1));

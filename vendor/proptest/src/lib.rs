@@ -80,7 +80,11 @@ pub trait Strategy {
     where
         Self: Sized,
     {
-        Filter { inner: self, pred, whence }
+        Filter {
+            inner: self,
+            pred,
+            whence,
+        }
     }
 
     /// Erase the concrete strategy type.
@@ -131,7 +135,10 @@ impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
                 return v;
             }
         }
-        panic!("prop_filter {:?} rejected 1000 consecutive inputs", self.whence);
+        panic!(
+            "prop_filter {:?} rejected 1000 consecutive inputs",
+            self.whence
+        );
     }
 }
 
@@ -155,7 +162,10 @@ pub struct Union<V> {
 impl<V: std::fmt::Debug> Union<V> {
     /// Build from `(weight, strategy)` pairs.
     pub fn new_weighted(variants: Vec<(u32, BoxedStrategy<V>)>) -> Self {
-        assert!(!variants.is_empty(), "prop_oneof needs at least one variant");
+        assert!(
+            !variants.is_empty(),
+            "prop_oneof needs at least one variant"
+        );
         let total = variants.iter().map(|&(w, _)| w).sum();
         assert!(total > 0, "prop_oneof weights must sum to > 0");
         Self { variants, total }
@@ -217,7 +227,7 @@ pub mod collection {
     //! Collection strategies.
     use super::*;
 
-    /// Length specification for [`vec`].
+    /// Length specification for [`vec()`].
     pub trait SizeRange {
         /// Draw a length.
         fn pick_len(&self, rng: &mut ChaCha8Rng) -> usize;
@@ -247,7 +257,7 @@ pub mod collection {
         VecStrategy { element, size }
     }
 
-    /// See [`vec`].
+    /// See [`vec()`].
     pub struct VecStrategy<S, Z> {
         element: S,
         size: Z,
@@ -330,7 +340,10 @@ mod strings {
                 ranges.push((p, p));
             }
         }
-        assert!(bytes.get(i) == Some(&']'), "unterminated char class in {pat:?}");
+        assert!(
+            bytes.get(i) == Some(&']'),
+            "unterminated char class in {pat:?}"
+        );
         (CharClass::Set(ranges), i + 1)
     }
 
@@ -357,7 +370,11 @@ mod strings {
     pub fn parse(pat: &str) -> StringPattern {
         let (class, consumed) = parse_class(pat);
         let (min_len, max_len) = parse_repeat(&pat[consumed..]);
-        StringPattern { class, min_len, max_len }
+        StringPattern {
+            class,
+            min_len,
+            max_len,
+        }
     }
 
     fn pick_char(class: &CharClass, rng: &mut ChaCha8Rng) -> char {

@@ -105,7 +105,13 @@ impl SeedableRng for ChaCha8Rng {
         for (k, chunk) in key.iter_mut().zip(seed.chunks_exact(4)) {
             *k = u32::from_le_bytes(chunk.try_into().unwrap());
         }
-        Self { key, counter: 0, stream: 0, buf: [0; BLOCK_WORDS], index: BLOCK_WORDS }
+        Self {
+            key,
+            counter: 0,
+            stream: 0,
+            buf: [0; BLOCK_WORDS],
+            index: BLOCK_WORDS,
+        }
     }
 }
 
