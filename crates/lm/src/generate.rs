@@ -347,6 +347,30 @@ impl GenerationStepper {
         self.finished
     }
 
+    /// Abandon the generation: mark it finished so further [`step`] calls
+    /// are no-ops and [`into_trace`] returns the partial trace accumulated
+    /// so far (with `stopped_naturally == false`). This is the cooperative
+    /// cancellation point a scheduler uses when a request is cancelled or
+    /// blows its deadline mid-decode — the session is simply never stepped
+    /// again, so no model state is torn down mid-token.
+    ///
+    /// [`step`]: GenerationStepper::step
+    /// [`into_trace`]: GenerationStepper::into_trace
+    pub fn abort(&mut self) {
+        self.finished = true;
+    }
+
+    /// Tokens this generation may still produce under the spec's
+    /// `max_tokens` budget. Schedulers use this to bound how many more
+    /// rounds a request can possibly occupy a batch slot.
+    pub fn budget_remaining(&self) -> usize {
+        if self.finished {
+            0
+        } else {
+            self.spec.max_tokens.saturating_sub(self.steps.len())
+        }
+    }
+
     /// Tokens generated so far.
     pub fn tokens_generated(&self) -> usize {
         self.steps.len()
@@ -866,6 +890,32 @@ mod tests {
             spec.max_tokens,
             "one batch call per step"
         );
+    }
+
+    #[test]
+    fn abort_freezes_the_stepper_and_keeps_the_partial_trace() {
+        let m = cycle_model();
+        let prompt = m.tokenizer.encode("a");
+        let spec = GenerateSpec {
+            sampler: Sampler::greedy(),
+            max_tokens: 10,
+            stop_tokens: vec![],
+            trace_min_prob: 0.0,
+            seed: 0,
+        };
+        let mut s = m.clone().session();
+        s.extend(&prompt);
+        let mut stepper = GenerationStepper::new(s, spec).unwrap();
+        assert_eq!(stepper.budget_remaining(), 10);
+        assert!(stepper.step().unwrap());
+        assert_eq!(stepper.budget_remaining(), 9);
+        stepper.abort();
+        assert!(stepper.is_finished());
+        assert_eq!(stepper.budget_remaining(), 0);
+        assert!(!stepper.step().unwrap(), "aborted steppers never advance");
+        let trace = stepper.into_trace();
+        assert_eq!(trace.decode(&m.tokenizer), "b", "partial trace survives");
+        assert!(!trace.stopped_naturally);
     }
 
     #[test]

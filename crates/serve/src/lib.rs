@@ -41,13 +41,19 @@
 
 #![warn(missing_docs)]
 
+#[cfg(any(test, feature = "fault-inject"))]
+pub mod faults;
 mod request;
 mod scheduler;
 mod service;
 mod trie;
 
-pub use request::{BackpressurePolicy, GenerateRequest, GenerateResponse, RequestError};
-pub use service::{InferenceService, ResponseHandle, ServeStats, ServiceBuilder};
+pub use request::{
+    BackpressurePolicy, Deadline, GenerateRequest, GenerateResponse, RequestError,
+};
+pub use service::{
+    InferenceService, ResponseHandle, SchedulerPanicked, ServeStats, ServiceBuilder,
+};
 pub use trie::{PrefixTrie, TrieStats};
 
 #[cfg(test)]
@@ -295,6 +301,7 @@ mod tests {
             stats.submitted, 2,
             "the shed request never counted as submitted"
         );
+        assert_eq!(stats.rejected, 1, "the shed request counts as rejected");
         assert_eq!(stats.completed, 2);
     }
 
@@ -344,6 +351,364 @@ mod tests {
         assert_eq!(stats.prefix.full_hits, 2);
         assert_eq!(stats.prefix.tokens_reused, 2 * prompt.len() as u64);
         assert_eq!(stats.prefix.tokens_prefilled, prompt.len() as u64);
+    }
+
+    #[test]
+    fn try_wait_reports_shutdown_instead_of_spinning_forever() {
+        let model = Arc::new(InductionLm::paper(0));
+        let prompt = icl_prompt(&model, &["0.0022155"]);
+        let service = InferenceService::builder().model("default", model).build();
+        let handle = service
+            .submit(GenerateRequest::new("default", prompt, spec(0)))
+            .unwrap();
+        // Poll until the in-flight request resolves.
+        let result = loop {
+            if let Some(r) = handle.try_wait() {
+                break r;
+            }
+            std::thread::yield_now();
+        };
+        assert!(result.is_ok());
+        // The result was already delivered, so the response channel is
+        // disconnected: a further poll must say so, not return None and
+        // leave the caller spinning.
+        assert_eq!(handle.try_wait(), Some(Err(RequestError::ShutDown)));
+    }
+
+    #[test]
+    fn zero_length_prompts_decode_like_sequential() {
+        let model = Arc::new(InductionLm::paper(0));
+        let service = InferenceService::builder()
+            .model("default", model.clone())
+            .build();
+        let expected = generate(&model, &[], &spec(3)).unwrap();
+        let got = service
+            .generate(GenerateRequest::new("default", vec![], spec(3)))
+            .unwrap();
+        assert_eq!(got.trace, expected);
+        assert_eq!(got.reused_tokens, 0);
+        assert_eq!(got.prefilled_tokens, 0);
+    }
+
+    #[test]
+    fn full_prefix_hit_then_rekey_unsupported_still_rejects() {
+        // A substrate without re-keying: the first request populates the
+        // trie, the second full-hits it *and then* fails the re-key — the
+        // hit must not let an unsatisfiable request through.
+        struct Plain(lmpeel_tokenizer::Tokenizer);
+        impl LanguageModel for Plain {
+            fn tokenizer(&self) -> &lmpeel_tokenizer::Tokenizer {
+                &self.0
+            }
+            fn logits(&self, _c: &[lmpeel_tokenizer::TokenId]) -> Vec<f32> {
+                let mut l = vec![f32::NEG_INFINITY; self.0.vocab().len()];
+                l[0] = 0.0;
+                l
+            }
+            fn name(&self) -> String {
+                "plain".into()
+            }
+        }
+        let model = Arc::new(Plain(lmpeel_tokenizer::Tokenizer::paper()));
+        let prompt = model.0.encode("abc");
+        let service = InferenceService::builder().model("plain", model).build();
+        assert!(service
+            .generate(GenerateRequest::new("plain", prompt.clone(), spec(0)))
+            .is_ok());
+        let err = service
+            .generate(GenerateRequest::new("plain", prompt, spec(1)).with_model_seed(4))
+            .unwrap_err();
+        assert_eq!(err, RequestError::RekeyUnsupported("plain".into()));
+        let stats = service.stats();
+        assert_eq!(stats.prefix.full_hits, 1, "the hit happened before the reject");
+        assert_eq!(stats.failed, 1);
+    }
+
+    #[test]
+    fn panic_mid_decode_fails_that_request_and_spares_the_rest() {
+        use faults::{Fault, FaultyLm};
+        faults::silence_injected_panics();
+        let healthy = Arc::new(InductionLm::paper(0));
+        let faulty = Arc::new(FaultyLm::new(
+            Arc::new(InductionLm::paper(0)),
+            Fault::PanicOnStep(2),
+        ));
+        let prompt = icl_prompt(&healthy, &["0.0022155", "0.0051230"]);
+        let service = InferenceService::builder()
+            .model("healthy", healthy.clone())
+            .model("faulty", faulty)
+            .max_batch(8)
+            .build();
+        // Interleave healthy and faulty requests in one batch.
+        let h_good: Vec<_> = (0..3)
+            .map(|seed| {
+                service
+                    .submit(GenerateRequest::new("healthy", prompt.clone(), spec(seed)))
+                    .unwrap()
+            })
+            .collect();
+        let h_bad = service
+            .submit(GenerateRequest::new("faulty", prompt.clone(), spec(9)))
+            .unwrap();
+        let err = h_bad.wait().unwrap_err();
+        assert!(
+            matches!(&err, RequestError::Panicked(reason) if reason.contains("injected fault")),
+            "got {err:?}"
+        );
+        for (seed, h) in h_good.into_iter().enumerate() {
+            let expected = generate(&healthy, &prompt, &spec(seed as u64)).unwrap();
+            assert_eq!(h.wait().unwrap().trace, expected, "seed {seed}");
+        }
+        let stats = service.stats();
+        assert_eq!(stats.panicked, 1);
+        assert_eq!(stats.completed, 3);
+    }
+
+    #[test]
+    fn panic_during_prefill_is_contained_at_admission() {
+        use faults::{Fault, FaultyLm};
+        faults::silence_injected_panics();
+        let inner = Arc::new(InductionLm::paper(0));
+        let faulty = Arc::new(FaultyLm::new(inner.clone(), Fault::PanicOnExtend));
+        let prompt = icl_prompt(&inner, &["0.0022155"]);
+        let service = InferenceService::builder()
+            .model("healthy", inner.clone())
+            .model("faulty", faulty)
+            .quarantine_after(10)
+            .build();
+        let err = service
+            .generate(GenerateRequest::new("faulty", prompt.clone(), spec(0)))
+            .unwrap_err();
+        assert!(matches!(err, RequestError::Panicked(_)), "got {err:?}");
+        // The scheduler thread survived: healthy work still completes.
+        assert!(service
+            .generate(GenerateRequest::new("healthy", prompt, spec(0)))
+            .is_ok());
+    }
+
+    #[test]
+    fn consecutive_panics_quarantine_the_substrate() {
+        use faults::{Fault, FaultyLm};
+        faults::silence_injected_panics();
+        let inner = Arc::new(InductionLm::paper(0));
+        let faulty = Arc::new(FaultyLm::new(inner.clone(), Fault::PanicOnExtend));
+        let prompt = icl_prompt(&inner, &["0.0022155"]);
+        let service = InferenceService::builder()
+            .model("healthy", inner.clone())
+            .model("faulty", faulty)
+            .quarantine_after(2)
+            .build();
+        for _ in 0..2 {
+            let err = service
+                .generate(GenerateRequest::new("faulty", prompt.clone(), spec(0)))
+                .unwrap_err();
+            assert!(matches!(err, RequestError::Panicked(_)));
+        }
+        // Third request: the substrate is quarantined, no more prefills run.
+        let err = service
+            .generate(GenerateRequest::new("faulty", prompt.clone(), spec(0)))
+            .unwrap_err();
+        assert_eq!(err, RequestError::SubstrateQuarantined("faulty".into()));
+        // The sibling substrate is unaffected.
+        assert!(service
+            .generate(GenerateRequest::new("healthy", prompt, spec(0)))
+            .is_ok());
+        let stats = service.stats();
+        assert_eq!(stats.panicked, 2);
+        assert_eq!(stats.quarantined, 1);
+        assert_eq!(stats.failed, 3);
+        assert_eq!(stats.completed, 1);
+    }
+
+    #[test]
+    fn successful_completions_reset_the_panic_streak() {
+        use faults::{Fault, FaultyLm};
+        faults::silence_injected_panics();
+        let inner = Arc::new(InductionLm::paper(0));
+        // Panics only on the second decode step: requests capped at one
+        // token always succeed, longer ones always panic.
+        let faulty = Arc::new(FaultyLm::new(inner.clone(), Fault::PanicOnStep(2)));
+        let prompt = icl_prompt(&inner, &["0.0022155"]);
+        let service = InferenceService::builder()
+            .model("faulty", faulty)
+            .quarantine_after(2)
+            .build();
+        let short = GenerateSpec::builder()
+            .max_tokens(1)
+            .stop_tokens(vec![])
+            .build()
+            .unwrap();
+        // panic, success, panic, success: streak never reaches 2.
+        for _ in 0..2 {
+            let err = service
+                .generate(GenerateRequest::new("faulty", prompt.clone(), spec(0)))
+                .unwrap_err();
+            assert!(
+                matches!(err, RequestError::Panicked(_)),
+                "streak must have been reset, got {err:?}"
+            );
+            assert!(service
+                .generate(GenerateRequest::new(
+                    "faulty",
+                    prompt.clone(),
+                    short.clone()
+                ))
+                .is_ok());
+        }
+        assert_eq!(service.stats().quarantined, 0);
+    }
+
+    #[test]
+    fn injected_decode_errors_do_not_count_toward_quarantine() {
+        use faults::{Fault, FaultyLm};
+        let inner = Arc::new(InductionLm::paper(0));
+        let flaky = Arc::new(FaultyLm::new(inner.clone(), Fault::EmptyLogitsOnStep(1)));
+        let prompt = icl_prompt(&inner, &["0.0022155"]);
+        let service = InferenceService::builder()
+            .model("flaky", flaky)
+            .quarantine_after(1)
+            .build();
+        for _ in 0..3 {
+            let err = service
+                .generate(GenerateRequest::new("flaky", prompt.clone(), spec(0)))
+                .unwrap_err();
+            assert_eq!(
+                err,
+                RequestError::Lm(LmError::EmptyVocab),
+                "decode errors are not panics and never quarantine"
+            );
+        }
+        let stats = service.stats();
+        assert_eq!(stats.panicked, 0);
+        assert_eq!(stats.quarantined, 0);
+        assert_eq!(stats.failed, 3);
+    }
+
+    #[test]
+    fn step_budget_deadline_retires_long_generations() {
+        let model = Arc::new(InductionLm::paper(0));
+        let prompt = icl_prompt(&model, &["0.0022155"]);
+        let service = InferenceService::builder().model("default", model).build();
+        let err = service
+            .generate(
+                GenerateRequest::new("default", prompt.clone(), spec(0)).with_step_budget(2),
+            )
+            .unwrap_err();
+        assert_eq!(err, RequestError::DeadlineExceeded);
+        // A budget wider than max_tokens never trips.
+        assert!(service
+            .generate(GenerateRequest::new("default", prompt, spec(0)).with_step_budget(64))
+            .is_ok());
+        let stats = service.stats();
+        assert_eq!(stats.deadline_exceeded, 1);
+        assert_eq!(stats.completed, 1);
+    }
+
+    #[test]
+    fn expired_wall_deadline_rejects_at_admission() {
+        let model = Arc::new(InductionLm::paper(0));
+        let prompt = icl_prompt(&model, &["0.0022155"]);
+        let service = InferenceService::builder().model("default", model).build();
+        let err = service
+            .generate(
+                GenerateRequest::new("default", prompt, spec(0))
+                    .with_wall_deadline(std::time::Duration::ZERO),
+            )
+            .unwrap_err();
+        assert_eq!(err, RequestError::DeadlineExceeded);
+        assert_eq!(service.stats().deadline_exceeded, 1);
+    }
+
+    #[test]
+    fn cancel_retires_an_inflight_request() {
+        use faults::{Fault, FaultGate, FaultyLm};
+        let gate = FaultGate::new();
+        let model = Arc::new(FaultyLm::new(
+            Arc::new(InductionLm::paper(0)),
+            Fault::HangUntilGate(Arc::clone(&gate)),
+        ));
+        let prompt = model.tokenizer().encode("Performance: ");
+        let service = InferenceService::builder().model("gated", model).build();
+        let handle = service
+            .submit(GenerateRequest::new("gated", prompt, spec(0)))
+            .unwrap();
+        gate.wait_entered();
+        handle.cancel();
+        gate.open();
+        let err = handle.wait().unwrap_err();
+        assert_eq!(err, RequestError::Cancelled);
+        assert_eq!(service.stats().cancelled, 1);
+    }
+
+    #[test]
+    fn dropping_the_handle_mid_flight_reclaims_the_slot() {
+        use faults::{Fault, FaultGate, FaultyLm};
+        let gate = FaultGate::new();
+        let model = Arc::new(FaultyLm::new(
+            Arc::new(InductionLm::paper(0)),
+            Fault::HangUntilGate(Arc::clone(&gate)),
+        ));
+        let prompt = model.tokenizer().encode("Performance: ");
+        let service = InferenceService::builder()
+            .model("gated", model)
+            .max_batch(1)
+            .build();
+        // A occupies the only batch slot, stalled at the gate; B is queued.
+        let a = service
+            .submit(GenerateRequest::new("gated", prompt.clone(), spec(0)))
+            .unwrap();
+        gate.wait_entered();
+        let b = service
+            .submit(GenerateRequest::new("gated", prompt, spec(1)))
+            .unwrap();
+        drop(a); // implicit cancel
+        gate.open();
+        // B can only complete if A's slot was actually reclaimed.
+        assert!(b.wait().is_ok());
+        let stats = service.stats();
+        assert_eq!(stats.cancelled, 1, "the dropped handle cancelled A");
+        assert_eq!(stats.completed, 1);
+    }
+
+    #[test]
+    fn shutdown_drains_queued_requests_and_reports_stats() {
+        use faults::{Fault, FaultGate, FaultyLm};
+        let gate = FaultGate::new();
+        let model = Arc::new(FaultyLm::new(
+            Arc::new(InductionLm::paper(0)),
+            Fault::HangUntilGate(Arc::clone(&gate)),
+        ));
+        let prompt = model.tokenizer().encode("Performance: ");
+        let service = InferenceService::builder()
+            .model("gated", model)
+            .max_batch(1)
+            .queue_capacity(4)
+            .build();
+        // A is in flight (stalled at the gate); B and C sit in the queue.
+        let a = service
+            .submit(GenerateRequest::new("gated", prompt.clone(), spec(0)))
+            .unwrap();
+        gate.wait_entered();
+        let b = service
+            .submit(GenerateRequest::new("gated", prompt.clone(), spec(1)))
+            .unwrap();
+        let c = service
+            .submit(GenerateRequest::new("gated", prompt, spec(2)))
+            .unwrap();
+        // Unblock the decode well after shutdown() has set the drain flag.
+        let opener = std::thread::spawn(move || {
+            std::thread::sleep(std::time::Duration::from_millis(250));
+            gate.open();
+        });
+        let stats = service.shutdown().expect("clean join");
+        opener.join().unwrap();
+        // In-flight work finished; queued work was rejected, not decoded.
+        assert!(a.wait().is_ok());
+        assert_eq!(b.wait().unwrap_err(), RequestError::ShutDown);
+        assert_eq!(c.wait().unwrap_err(), RequestError::ShutDown);
+        assert_eq!(stats.completed, 1);
+        assert_eq!(stats.drained, 2);
+        assert_eq!(stats.failed, 2);
     }
 
     #[test]

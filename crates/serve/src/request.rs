@@ -2,6 +2,59 @@
 
 use lmpeel_lm::{GenerateSpec, GenerationTrace, LmError};
 use lmpeel_tokenizer::TokenId;
+use std::time::Duration;
+
+/// A per-request completion deadline, checked cooperatively by the
+/// scheduler once per scheduling round.
+///
+/// Both limits default to `None` (no deadline). The logical budget is the
+/// deterministic one — it counts scheduling rounds the request has been
+/// stepped, independent of wall time, so deadline behaviour is
+/// reproducible in tests. The wall-clock limit is measured from *submit*
+/// (queue time counts), which is what a latency-budgeted caller means by
+/// "give up after 50 ms".
+///
+/// Deadlines are cooperative: the scheduler checks them between decode
+/// steps, so a substrate that blocks inside a single `logits` call is not
+/// preempted — the request retires at the next round boundary.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Deadline {
+    /// Maximum decode steps (scheduling rounds) the request may consume
+    /// after admission before retiring with
+    /// [`RequestError::DeadlineExceeded`].
+    pub max_steps: Option<u64>,
+    /// Maximum wall-clock time since `submit` before retiring with
+    /// [`RequestError::DeadlineExceeded`].
+    pub wall: Option<Duration>,
+}
+
+impl Deadline {
+    /// No deadline on either axis (the default).
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// A logical budget: at most `steps` decode steps after admission.
+    pub fn steps(steps: u64) -> Self {
+        Self {
+            max_steps: Some(steps),
+            wall: None,
+        }
+    }
+
+    /// A wall-clock budget measured from submission.
+    pub fn wall(limit: Duration) -> Self {
+        Self {
+            max_steps: None,
+            wall: Some(limit),
+        }
+    }
+
+    /// True when neither limit is set.
+    pub fn is_none(&self) -> bool {
+        self.max_steps.is_none() && self.wall.is_none()
+    }
+}
 
 /// One generation request submitted to the service.
 #[derive(Debug, Clone)]
@@ -21,22 +74,43 @@ pub struct GenerateRequest {
     /// [`RequestError::RekeyUnsupported`] so the caller can fall back to a
     /// per-seed model.
     pub model_seed: Option<u64>,
+    /// Completion deadline; defaults to [`Deadline::none`].
+    pub deadline: Deadline,
 }
 
 impl GenerateRequest {
-    /// Request against `substrate` with no model re-keying.
+    /// Request against `substrate` with no model re-keying and no deadline.
     pub fn new(substrate: impl Into<String>, prompt: Vec<TokenId>, spec: GenerateSpec) -> Self {
         Self {
             substrate: substrate.into(),
             prompt,
             spec,
             model_seed: None,
+            deadline: Deadline::none(),
         }
     }
 
     /// Ask the scheduler to re-key the session to `seed` before decoding.
     pub fn with_model_seed(mut self, seed: u64) -> Self {
         self.model_seed = Some(seed);
+        self
+    }
+
+    /// Attach a completion deadline.
+    pub fn with_deadline(mut self, deadline: Deadline) -> Self {
+        self.deadline = deadline;
+        self
+    }
+
+    /// Cap the request at `steps` decode steps after admission.
+    pub fn with_step_budget(mut self, steps: u64) -> Self {
+        self.deadline.max_steps = Some(steps);
+        self
+    }
+
+    /// Cap the request at `limit` wall-clock time since submission.
+    pub fn with_wall_deadline(mut self, limit: Duration) -> Self {
+        self.deadline.wall = Some(limit);
         self
     }
 }
@@ -67,10 +141,27 @@ pub enum RequestError {
     /// The bounded request queue was full and the service runs the
     /// [`BackpressurePolicy::Reject`] policy.
     QueueFull,
-    /// The service shut down before the request completed.
+    /// The service shut down (or entered its drain phase) before the
+    /// request completed.
     ShutDown,
     /// The decode itself failed (empty vocabulary, invalid spec, ...).
     Lm(LmError),
+    /// The substrate panicked while serving *this* request (during
+    /// prefill, re-key, or a decode step). The panic was caught at the
+    /// request boundary — the scheduler and every other in-flight request
+    /// keep running. The payload is the stringified panic message.
+    Panicked(String),
+    /// The substrate was quarantined after too many consecutive panics
+    /// (the builder's `quarantine_after` threshold), so the scheduler
+    /// refuses to run further requests on it. The payload names the
+    /// substrate.
+    SubstrateQuarantined(String),
+    /// The request's [`Deadline`] expired (logical step budget or
+    /// wall-clock) before the generation finished.
+    DeadlineExceeded,
+    /// The request was cancelled via [`crate::ResponseHandle::cancel`] or
+    /// by dropping its handle.
+    Cancelled,
 }
 
 impl std::fmt::Display for RequestError {
@@ -88,6 +179,19 @@ impl std::fmt::Display for RequestError {
             RequestError::QueueFull => write!(f, "request queue full (reject backpressure)"),
             RequestError::ShutDown => write!(f, "inference service shut down"),
             RequestError::Lm(e) => write!(f, "decode failed: {e}"),
+            RequestError::Panicked(reason) => {
+                write!(f, "substrate panicked while serving the request: {reason}")
+            }
+            RequestError::SubstrateQuarantined(name) => {
+                write!(
+                    f,
+                    "substrate {name:?} is quarantined after repeated panics"
+                )
+            }
+            RequestError::DeadlineExceeded => {
+                write!(f, "request deadline exceeded before completion")
+            }
+            RequestError::Cancelled => write!(f, "request cancelled by the caller"),
         }
     }
 }
@@ -134,6 +238,16 @@ mod tests {
         assert!(RequestError::from(LmError::EmptyVocab)
             .to_string()
             .contains("decode failed"));
+        assert!(RequestError::Panicked("boom".into())
+            .to_string()
+            .contains("boom"));
+        assert!(RequestError::SubstrateQuarantined("z".into())
+            .to_string()
+            .contains("quarantined"));
+        assert!(RequestError::DeadlineExceeded
+            .to_string()
+            .contains("deadline"));
+        assert!(RequestError::Cancelled.to_string().contains("cancelled"));
     }
 
     #[test]
@@ -142,5 +256,23 @@ mod tests {
         let r = GenerateRequest::new("default", vec![1, 2], spec).with_model_seed(7);
         assert_eq!(r.model_seed, Some(7));
         assert_eq!(r.substrate, "default");
+        assert!(r.deadline.is_none());
+    }
+
+    #[test]
+    fn deadline_builders_compose() {
+        let spec = GenerateSpec::paper(0);
+        let r = GenerateRequest::new("default", vec![1], spec)
+            .with_step_budget(5)
+            .with_wall_deadline(Duration::from_millis(50));
+        assert_eq!(r.deadline.max_steps, Some(5));
+        assert_eq!(r.deadline.wall, Some(Duration::from_millis(50)));
+        assert!(!r.deadline.is_none());
+        assert_eq!(Deadline::steps(3).max_steps, Some(3));
+        assert_eq!(
+            Deadline::wall(Duration::from_secs(1)).wall,
+            Some(Duration::from_secs(1))
+        );
+        assert!(Deadline::none().is_none());
     }
 }

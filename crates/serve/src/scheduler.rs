@@ -20,19 +20,44 @@
 //! forking a cached snapshot then extending it yields the same state as
 //! prefilling from scratch (PR 1's fork/extend equivalence suites), which
 //! the determinism proptests in `tests/` re-verify end to end.
+//!
+//! # Fault containment
+//!
+//! The scheduler fails requests, never itself. All per-request substrate
+//! work — prefill/re-key at admission, each decode step — runs under
+//! [`catch_unwind`], so a panicking session retires *that* request with
+//! [`RequestError::Panicked`] while every other in-flight generation keeps
+//! stepping. A substrate that panics on `quarantine_after` consecutive
+//! requests (no successful completion in between) is quarantined: later
+//! requests naming it are rejected with
+//! [`RequestError::SubstrateQuarantined`] instead of feeding a broken
+//! model forever. Cancellation ([`crate::ResponseHandle::cancel`] or a
+//! dropped handle) and [`crate::Deadline`]s are checked once per
+//! scheduling round, retiring the request and freeing its batch slot
+//! without disturbing its neighbours.
 
-use crate::request::{GenerateRequest, GenerateResponse, RequestError};
+use crate::request::{Deadline, GenerateRequest, GenerateResponse, RequestError};
 use crate::service::ServeStats;
-use crate::trie::PrefixTrie;
-use lmpeel_lm::{GenerationStepper, LanguageModel, LmError};
-use std::collections::HashMap;
+use crate::trie::{PrefixTrie, TrieStats};
+use lmpeel_lm::{GenerationStepper, LanguageModel};
+use std::collections::{HashMap, HashSet};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::{Receiver, Sender, TryRecvError};
 use std::sync::{Arc, Mutex};
+use std::time::Instant;
 
-/// A request plus its response channel, as queued by `submit`.
+/// A request plus its response channel and control state, as queued by
+/// `submit`.
 pub(crate) struct Envelope {
     pub request: GenerateRequest,
     pub responder: Sender<Result<GenerateResponse, RequestError>>,
+    /// Set by `ResponseHandle::cancel` / `Drop`; checked at admission and
+    /// once per scheduling round.
+    pub cancel: Arc<AtomicBool>,
+    /// When `submit` accepted the request; wall-clock deadlines are
+    /// measured from here so queue time counts.
+    pub submitted_at: Instant,
 }
 
 pub(crate) struct SchedulerConfig {
@@ -40,24 +65,77 @@ pub(crate) struct SchedulerConfig {
     pub max_batch: usize,
     /// Snapshot capacity of each substrate's prefix trie.
     pub trie_capacity: usize,
+    /// Consecutive per-substrate panics before quarantine.
+    pub quarantine_after: u32,
+}
+
+/// Stringify a panic payload (the `Box<dyn Any>` from `catch_unwind` or
+/// `JoinHandle::join`).
+pub(crate) fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&'static str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "opaque panic payload".to_string()
+    }
 }
 
 /// One in-flight generation.
 struct Inflight {
     stepper: GenerationStepper,
     responder: Sender<Result<GenerateResponse, RequestError>>,
+    substrate: String,
+    cancel: Arc<AtomicBool>,
+    deadline: Deadline,
+    submitted_at: Instant,
+    /// Decode steps taken since admission (the logical deadline clock).
+    steps_taken: u64,
     reused_tokens: usize,
     prefilled_tokens: usize,
-    error: Option<LmError>,
+    error: Option<RequestError>,
 }
 
 impl Inflight {
+    /// Advance one token unless a control signal retires the request
+    /// first. Panics from the substrate are caught here and become this
+    /// request's terminal error.
     fn step(&mut self) {
-        if self.error.is_none() {
-            if let Err(e) = self.stepper.step() {
-                self.error = Some(e);
+        if self.error.is_some() || self.stepper.is_finished() {
+            return;
+        }
+        if self.cancel.load(Ordering::SeqCst) {
+            self.stepper.abort();
+            self.error = Some(RequestError::Cancelled);
+            return;
+        }
+        if let Some(e) = self.deadline_expired() {
+            self.stepper.abort();
+            self.error = Some(e);
+            return;
+        }
+        self.steps_taken += 1;
+        match catch_unwind(AssertUnwindSafe(|| self.stepper.step())) {
+            Ok(Ok(_)) => {}
+            Ok(Err(e)) => self.error = Some(RequestError::Lm(e)),
+            Err(payload) => {
+                self.error = Some(RequestError::Panicked(panic_message(payload.as_ref())));
             }
         }
+    }
+
+    fn deadline_expired(&self) -> Option<RequestError> {
+        if let Some(max) = self.deadline.max_steps {
+            if self.steps_taken >= max {
+                return Some(RequestError::DeadlineExceeded);
+            }
+        }
+        if let Some(wall) = self.deadline.wall {
+            if self.submitted_at.elapsed() >= wall {
+                return Some(RequestError::DeadlineExceeded);
+            }
+        }
+        None
     }
 
     fn done(&self) -> bool {
@@ -71,7 +149,7 @@ impl Inflight {
         Result<GenerateResponse, RequestError>,
     ) {
         let result = match self.error {
-            Some(e) => Err(RequestError::Lm(e)),
+            Some(e) => Err(e),
             None => Ok(GenerateResponse {
                 trace: self.stepper.into_trace(),
                 reused_tokens: self.reused_tokens,
@@ -89,6 +167,17 @@ pub(crate) struct Scheduler {
     cfg: SchedulerConfig,
     inflight: Vec<Inflight>,
     stats: Arc<Mutex<ServeStats>>,
+    /// Set by `InferenceService::shutdown`: stop admitting, finish
+    /// in-flight work, reject whatever is still queued with `ShutDown`.
+    draining: Arc<AtomicBool>,
+    /// Per-substrate consecutive-panic streaks (reset by a successful
+    /// completion on that substrate).
+    panic_streaks: HashMap<String, u32>,
+    quarantined: HashSet<String>,
+    /// True when a trie counter changed since the last publish, so the
+    /// summed `prefix` stats block is rebuilt at most once per round and
+    /// only when it could differ.
+    trie_dirty: bool,
 }
 
 impl Scheduler {
@@ -97,6 +186,7 @@ impl Scheduler {
         models: HashMap<String, Arc<dyn LanguageModel>>,
         cfg: SchedulerConfig,
         stats: Arc<Mutex<ServeStats>>,
+        draining: Arc<AtomicBool>,
     ) -> Self {
         let tries = models
             .keys()
@@ -109,6 +199,10 @@ impl Scheduler {
             cfg,
             inflight: Vec::new(),
             stats,
+            draining,
+            panic_streaks: HashMap::new(),
+            quarantined: HashSet::new(),
+            trie_dirty: false,
         }
     }
 
@@ -133,6 +227,10 @@ impl Scheduler {
                     }
                 }
             }
+            // Trie counters only move at admission, and retirement (which
+            // sends responses) happens after this point in the round, so
+            // one conditional publish per round is enough for stats() to
+            // be settled by the time any response lands.
             self.publish_trie_stats();
             if self.inflight.is_empty() {
                 if disconnected {
@@ -143,7 +241,6 @@ impl Scheduler {
                 continue;
             }
             self.step_round();
-            self.publish_trie_stats();
         }
     }
 
@@ -157,16 +254,17 @@ impl Scheduler {
         while i < self.inflight.len() {
             if self.inflight[i].done() {
                 let w = self.inflight.swap_remove(i);
+                match &w.error {
+                    Some(RequestError::Panicked(_)) => self.note_panic(&w.substrate),
+                    None => self.note_success(&w.substrate),
+                    Some(_) => {}
+                }
                 let (responder, result) = w.finish();
                 // Settle the counters *before* the response lands: a caller
                 // reading stats() right after wait() must see this request.
                 {
                     let mut stats = self.stats.lock().expect("stats lock");
-                    if result.is_ok() {
-                        stats.completed += 1;
-                    } else {
-                        stats.failed += 1;
-                    }
+                    stats.count_terminal(&result);
                 }
                 // A dropped handle just means the caller stopped caring.
                 let _ = responder.send(result);
@@ -176,67 +274,145 @@ impl Scheduler {
         }
     }
 
-    fn reject(&self, responder: Sender<Result<GenerateResponse, RequestError>>, e: RequestError) {
-        self.stats.lock().expect("stats lock").failed += 1;
-        let _ = responder.send(Err(e));
+    /// Lengthen the substrate's consecutive-panic streak, quarantining it
+    /// at the configured threshold.
+    fn note_panic(&mut self, substrate: &str) {
+        let streak = self.panic_streaks.entry(substrate.to_string()).or_insert(0);
+        *streak += 1;
+        if *streak >= self.cfg.quarantine_after {
+            self.quarantined.insert(substrate.to_string());
+        }
+    }
+
+    /// A successful completion proves the substrate can still serve: the
+    /// panic streak is no longer consecutive, so reset it. Other errors
+    /// (decode failures, cancellations, deadlines) prove nothing either
+    /// way and leave the streak alone.
+    fn note_success(&mut self, substrate: &str) {
+        self.panic_streaks.insert(substrate.to_string(), 0);
+    }
+
+    fn reject(&mut self, responder: Sender<Result<GenerateResponse, RequestError>>, e: RequestError) {
+        // The lookup that preceded this rejection may have ticked trie
+        // counters; settle them (dirty-gated, so usually free) before the
+        // error lands so stats() is consistent the moment wait() returns.
+        self.publish_trie_stats();
+        let result = Err(e);
+        self.stats
+            .lock()
+            .expect("stats lock")
+            .count_terminal(&result);
+        let _ = responder.send(result);
     }
 
     fn admit(&mut self, env: Envelope) {
-        let Envelope { request, responder } = env;
-        let Some(model) = self.models.get(&request.substrate) else {
-            self.reject(responder, RequestError::UnknownSubstrate(request.substrate));
+        let Envelope {
+            request,
+            responder,
+            cancel,
+            submitted_at,
+        } = env;
+        if self.draining.load(Ordering::SeqCst) {
+            // Drain mode: whatever is still queued is rejected, not decoded.
+            self.reject(responder, RequestError::ShutDown);
             return;
-        };
-        let trie = self
-            .tries
-            .get_mut(&request.substrate)
-            .expect("trie per model");
-
-        let (mut session, reused) = match trie.lookup(&request.prompt) {
-            Some((fork, depth)) => (fork, depth),
-            None => (Arc::clone(model).session(), 0),
-        };
-        let prefilled = request.prompt.len() - reused;
-        session.extend(&request.prompt[reused..]);
-        trie.note_prefilled(prefilled as u64);
-        if prefilled > 0 {
-            // Cache the substrate-keyed state *before* any re-keying so
-            // later requests always fork model-default jitter.
-            trie.insert(&request.prompt, session.fork());
         }
-
-        if let Some(seed) = request.model_seed {
-            if !session.rekey(seed) {
-                self.reject(responder, RequestError::RekeyUnsupported(request.substrate));
+        if cancel.load(Ordering::SeqCst) {
+            self.reject(responder, RequestError::Cancelled);
+            return;
+        }
+        if let Some(wall) = request.deadline.wall {
+            if submitted_at.elapsed() >= wall {
+                self.reject(responder, RequestError::DeadlineExceeded);
                 return;
             }
         }
+        let substrate = request.substrate.clone();
+        if self.quarantined.contains(&substrate) {
+            self.reject(responder, RequestError::SubstrateQuarantined(substrate));
+            return;
+        }
+        let Some(model) = self.models.get(&substrate) else {
+            self.reject(responder, RequestError::UnknownSubstrate(substrate));
+            return;
+        };
+        let model = Arc::clone(model);
+        let trie = self.tries.get_mut(&substrate).expect("trie per model");
+        self.trie_dirty = true;
 
-        match GenerationStepper::new(session, request.spec) {
-            Ok(stepper) => self.inflight.push(Inflight {
-                stepper,
-                responder,
-                reused_tokens: reused,
-                prefilled_tokens: prefilled,
-                error: None,
-            }),
-            Err(e) => self.reject(responder, RequestError::Lm(e)),
+        // All substrate code below (fork, extend, rekey) may panic; contain
+        // it to this request. AssertUnwindSafe is justified because on
+        // panic we abandon the session outright, and the trie's own
+        // mutations are ordered so a mid-flight unwind leaves it
+        // consistent (counters update after the extend they describe, and
+        // the snapshot insert is all-or-nothing).
+        let setup = catch_unwind(AssertUnwindSafe(|| {
+            let (mut session, reused) = match trie.lookup(&request.prompt) {
+                Some((fork, depth)) => (fork, depth),
+                None => (model.session(), 0),
+            };
+            let prefilled = request.prompt.len() - reused;
+            session.extend(&request.prompt[reused..]);
+            trie.note_prefilled(prefilled as u64);
+            if prefilled > 0 {
+                // Cache the substrate-keyed state *before* any re-keying so
+                // later requests always fork model-default jitter.
+                trie.insert(&request.prompt, session.fork());
+            }
+            let rekeyed = match request.model_seed {
+                Some(seed) => session.rekey(seed),
+                None => true,
+            };
+            (session, reused, prefilled, rekeyed)
+        }));
+
+        match setup {
+            Err(payload) => {
+                let reason = panic_message(payload.as_ref());
+                self.note_panic(&substrate);
+                self.reject(responder, RequestError::Panicked(reason));
+            }
+            Ok((_, _, _, false)) => {
+                self.reject(responder, RequestError::RekeyUnsupported(substrate));
+            }
+            Ok((session, reused_tokens, prefilled_tokens, true)) => {
+                match GenerationStepper::new(session, request.spec) {
+                    Ok(stepper) => self.inflight.push(Inflight {
+                        stepper,
+                        responder,
+                        substrate,
+                        cancel,
+                        deadline: request.deadline,
+                        submitted_at,
+                        steps_taken: 0,
+                        reused_tokens,
+                        prefilled_tokens,
+                        error: None,
+                    }),
+                    Err(e) => self.reject(responder, RequestError::Lm(e)),
+                }
+            }
         }
     }
 
     /// Copy the per-substrate trie counters into the shared stats block.
-    /// Called after retirement so `stats()` readers see settled numbers.
-    pub fn publish_trie_stats(&self) {
-        let mut stats = self.stats.lock().expect("stats lock");
-        stats.prefix = Default::default();
+    /// Runs once per scheduling round, and only when a counter actually
+    /// changed since the last publish; the sum is built outside the lock.
+    fn publish_trie_stats(&mut self) {
+        if !self.trie_dirty {
+            return;
+        }
+        self.trie_dirty = false;
+        let mut prefix = TrieStats::default();
         for trie in self.tries.values() {
             let t = trie.stats();
-            stats.prefix.full_hits += t.full_hits;
-            stats.prefix.partial_hits += t.partial_hits;
-            stats.prefix.misses += t.misses;
-            stats.prefix.tokens_reused += t.tokens_reused;
-            stats.prefix.tokens_prefilled += t.tokens_prefilled;
-            stats.prefix.evictions += t.evictions;
+            prefix.full_hits += t.full_hits;
+            prefix.partial_hits += t.partial_hits;
+            prefix.misses += t.misses;
+            prefix.tokens_reused += t.tokens_reused;
+            prefix.tokens_prefilled += t.tokens_prefilled;
+            prefix.evictions += t.evictions;
         }
+        self.stats.lock().expect("stats lock").prefix = prefix;
     }
 }

@@ -1,27 +1,95 @@
 //! The service facade: builder, submit handles, stats, shutdown.
 
 use crate::request::{BackpressurePolicy, GenerateRequest, GenerateResponse, RequestError};
-use crate::scheduler::{Envelope, Scheduler, SchedulerConfig};
+use crate::scheduler::{panic_message, Envelope, Scheduler, SchedulerConfig};
 use crate::trie::TrieStats;
 use lmpeel_lm::LanguageModel;
 use std::collections::HashMap;
-use std::sync::mpsc::{self, Receiver, SyncSender, TrySendError};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{self, Receiver, SyncSender, TryRecvError, TrySendError};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
+use std::time::Instant;
 
 /// Service-level counters, readable at any time via
 /// [`InferenceService::stats`].
+///
+/// `submitted` counts before the envelope is enqueued (and is rolled back
+/// if enqueueing fails), so `completed` can never transiently exceed it.
+/// `failed` is the superset of every request that terminated with an
+/// error past admission to the queue; the kind-specific counters below it
+/// break that total down.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ServeStats {
     /// Requests accepted onto the queue.
     pub submitted: u64,
     /// Requests that finished with a trace.
     pub completed: u64,
-    /// Requests rejected or failed at any stage past the queue.
+    /// Requests that terminated with any error past the queue
+    /// (decode failures, panics, quarantine, cancellation, deadlines,
+    /// drain rejections).
     pub failed: u64,
+    /// Requests shed at `submit` itself (queue full under the `Reject`
+    /// policy, or a dead scheduler); these never count as `submitted`.
+    pub rejected: u64,
+    /// Requests retired by [`crate::ResponseHandle::cancel`] or a dropped
+    /// handle.
+    pub cancelled: u64,
+    /// Requests retired because their [`crate::Deadline`] expired.
+    pub deadline_exceeded: u64,
+    /// Requests that terminated because the substrate panicked while
+    /// serving them (the panic was contained to the request).
+    pub panicked: u64,
+    /// Requests rejected because their substrate was quarantined after
+    /// repeated panics.
+    pub quarantined: u64,
+    /// Queued requests rejected with [`RequestError::ShutDown`] during a
+    /// graceful [`InferenceService::shutdown`] drain.
+    pub drained: u64,
     /// Prefix-cache accounting summed over all substrates.
     pub prefix: TrieStats,
 }
+
+impl ServeStats {
+    /// Classify one terminal result into the counters. Shared by the
+    /// scheduler's retire/reject paths so `failed` and its breakdown can
+    /// never drift apart.
+    pub(crate) fn count_terminal(&mut self, result: &Result<GenerateResponse, RequestError>) {
+        match result {
+            Ok(_) => self.completed += 1,
+            Err(e) => {
+                self.failed += 1;
+                match e {
+                    RequestError::Cancelled => self.cancelled += 1,
+                    RequestError::DeadlineExceeded => self.deadline_exceeded += 1,
+                    RequestError::Panicked(_) => self.panicked += 1,
+                    RequestError::SubstrateQuarantined(_) => self.quarantined += 1,
+                    // The scheduler only answers ShutDown while draining.
+                    RequestError::ShutDown => self.drained += 1,
+                    _ => {}
+                }
+            }
+        }
+    }
+}
+
+/// The scheduler thread itself panicked — a scheduler bug, not a request
+/// failure (per-request substrate panics are contained and reported as
+/// [`RequestError::Panicked`]). Returned by [`InferenceService::shutdown`]
+/// so crashes cannot be silently swallowed at join time.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SchedulerPanicked {
+    /// The stringified panic payload.
+    pub reason: String,
+}
+
+impl std::fmt::Display for SchedulerPanicked {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "inference scheduler thread panicked: {}", self.reason)
+    }
+}
+
+impl std::error::Error for SchedulerPanicked {}
 
 /// Configures and spawns an [`InferenceService`].
 pub struct ServiceBuilder {
@@ -30,6 +98,7 @@ pub struct ServiceBuilder {
     policy: BackpressurePolicy,
     max_batch: usize,
     trie_capacity: usize,
+    quarantine_after: u32,
 }
 
 impl Default for ServiceBuilder {
@@ -40,13 +109,15 @@ impl Default for ServiceBuilder {
             policy: BackpressurePolicy::default(),
             max_batch: 16,
             trie_capacity: 32,
+            quarantine_after: 3,
         }
     }
 }
 
 impl ServiceBuilder {
     /// Fresh builder with the defaults (queue 64, blocking backpressure,
-    /// batch 16, 32 cached prefixes per substrate).
+    /// batch 16, 32 cached prefixes per substrate, quarantine after 3
+    /// consecutive panics).
     pub fn new() -> Self {
         Self::default()
     }
@@ -81,18 +152,31 @@ impl ServiceBuilder {
         self
     }
 
+    /// Consecutive panics on one substrate before the scheduler
+    /// quarantines it (minimum 1; default 3). Once quarantined, requests
+    /// naming the substrate fail with
+    /// [`RequestError::SubstrateQuarantined`] instead of feeding a broken
+    /// model.
+    pub fn quarantine_after(mut self, panics: u32) -> Self {
+        self.quarantine_after = panics.max(1);
+        self
+    }
+
     /// Spawn the scheduler thread and return the running service.
     pub fn build(self) -> InferenceService {
         let (tx, rx) = mpsc::sync_channel(self.queue_capacity);
         let stats = Arc::new(Mutex::new(ServeStats::default()));
+        let draining = Arc::new(AtomicBool::new(false));
         let scheduler = Scheduler::new(
             rx,
             self.models,
             SchedulerConfig {
                 max_batch: self.max_batch,
                 trie_capacity: self.trie_capacity,
+                quarantine_after: self.quarantine_after,
             },
             Arc::clone(&stats),
+            Arc::clone(&draining),
         );
         let handle = std::thread::Builder::new()
             .name("lmpeel-serve".into())
@@ -103,6 +187,7 @@ impl ServiceBuilder {
             policy: self.policy,
             handle: Some(handle),
             stats,
+            draining,
         }
     }
 }
@@ -111,13 +196,16 @@ impl ServiceBuilder {
 ///
 /// Submission is thread-safe behind `&self`; results come back through
 /// per-request [`ResponseHandle`]s, so many callers can wait concurrently.
-/// Dropping the service closes the queue, lets in-flight work finish, and
-/// joins the scheduler thread.
+/// [`InferenceService::shutdown`] drains gracefully (stops admitting,
+/// finishes in-flight work, surfaces scheduler panics); dropping the
+/// service instead processes everything still queued, then joins (logging
+/// any scheduler panic to stderr).
 pub struct InferenceService {
     tx: Option<SyncSender<Envelope>>,
     policy: BackpressurePolicy,
     handle: Option<JoinHandle<()>>,
     stats: Arc<Mutex<ServeStats>>,
+    draining: Arc<AtomicBool>,
 }
 
 impl InferenceService {
@@ -131,22 +219,38 @@ impl InferenceService {
     pub fn submit(&self, request: GenerateRequest) -> Result<ResponseHandle, RequestError> {
         let tx = self.tx.as_ref().expect("sender lives until drop");
         let (rtx, rrx) = mpsc::channel();
+        let cancel = Arc::new(AtomicBool::new(false));
         let env = Envelope {
             request,
             responder: rtx,
+            cancel: Arc::clone(&cancel),
+            submitted_at: Instant::now(),
         };
-        match self.policy {
-            BackpressurePolicy::Block => {
-                tx.send(env).map_err(|_| RequestError::ShutDown)?;
-            }
-            BackpressurePolicy::Reject => match tx.try_send(env) {
-                Ok(()) => {}
-                Err(TrySendError::Full(_)) => return Err(RequestError::QueueFull),
-                Err(TrySendError::Disconnected(_)) => return Err(RequestError::ShutDown),
-            },
-        }
+        // Count the submission *before* the envelope is visible to the
+        // scheduler: a fast completion could otherwise make stats()
+        // transiently report completed > submitted.
         self.stats.lock().expect("stats lock").submitted += 1;
-        Ok(ResponseHandle { rx: rrx })
+        let enqueued = match self.policy {
+            BackpressurePolicy::Block => tx.send(env).map_err(|_| RequestError::ShutDown),
+            BackpressurePolicy::Reject => match tx.try_send(env) {
+                Ok(()) => Ok(()),
+                Err(TrySendError::Full(_)) => Err(RequestError::QueueFull),
+                Err(TrySendError::Disconnected(_)) => Err(RequestError::ShutDown),
+            },
+        };
+        if let Err(e) = enqueued {
+            // The scheduler never saw this request: roll the submission
+            // back and account for the shed instead.
+            let mut stats = self.stats.lock().expect("stats lock");
+            stats.submitted -= 1;
+            stats.rejected += 1;
+            return Err(e);
+        }
+        Ok(ResponseHandle {
+            rx: rrx,
+            cancel,
+            cancel_on_drop: true,
+        })
     }
 
     /// Submit and wait: the one-call path for sequential callers.
@@ -159,40 +263,146 @@ impl InferenceService {
         *self.stats.lock().expect("stats lock")
     }
 
-    /// Close the queue and join the scheduler after in-flight and queued
-    /// work drains. Dropping the service does the same implicitly.
-    pub fn shutdown(mut self) {
-        self.shutdown_inner();
+    /// Gracefully drain and join the scheduler: stop admitting, let
+    /// in-flight generations finish, reject whatever is still queued with
+    /// [`RequestError::ShutDown`] (counted in [`ServeStats::drained`]),
+    /// and surface a scheduler-thread panic as an error instead of
+    /// swallowing it. Returns the final counters on a clean join.
+    ///
+    /// Dropping the service without calling `shutdown` is the lossless
+    /// variant: everything queued is still decoded before the join, and a
+    /// scheduler panic is logged to stderr.
+    pub fn shutdown(mut self) -> Result<ServeStats, SchedulerPanicked> {
+        self.draining.store(true, Ordering::SeqCst);
+        match self.shutdown_inner() {
+            Some(reason) => Err(SchedulerPanicked { reason }),
+            None => Ok(self.stats()),
+        }
     }
 
-    fn shutdown_inner(&mut self) {
+    /// Close the queue and join the scheduler; returns the stringified
+    /// panic payload if the scheduler thread died panicking.
+    fn shutdown_inner(&mut self) -> Option<String> {
         drop(self.tx.take());
         if let Some(handle) = self.handle.take() {
-            let _ = handle.join();
+            if let Err(payload) = handle.join() {
+                return Some(panic_message(payload.as_ref()));
+            }
         }
+        None
     }
 }
 
 impl Drop for InferenceService {
     fn drop(&mut self) {
-        self.shutdown_inner();
+        if let Some(reason) = self.shutdown_inner() {
+            eprintln!("lmpeel-serve: scheduler thread panicked: {reason}");
+        }
     }
 }
 
 /// The receiving end of one request's result.
+///
+/// Dropping the handle cancels the request implicitly: if it has not yet
+/// produced a result, the scheduler retires it with
+/// [`RequestError::Cancelled`] at the next round and frees its batch
+/// slot.
 #[derive(Debug)]
 pub struct ResponseHandle {
     rx: Receiver<Result<GenerateResponse, RequestError>>,
+    cancel: Arc<AtomicBool>,
+    cancel_on_drop: bool,
 }
 
 impl ResponseHandle {
     /// Block until the generation finishes (or fails).
-    pub fn wait(self) -> Result<GenerateResponse, RequestError> {
+    pub fn wait(mut self) -> Result<GenerateResponse, RequestError> {
+        // The result (or disconnect) below is terminal either way; don't
+        // also flip the cancel flag when `self` drops on return.
+        self.cancel_on_drop = false;
         self.rx.recv().unwrap_or(Err(RequestError::ShutDown))
     }
 
     /// Non-blocking poll; `None` while the request is still in flight.
+    ///
+    /// A disconnected channel — the scheduler crashed, was shut down
+    /// before answering, or already delivered this request's result to an
+    /// earlier poll — yields `Some(Err(RequestError::ShutDown))` rather
+    /// than `None`, so pollers can never spin forever on a response that
+    /// will never come.
     pub fn try_wait(&self) -> Option<Result<GenerateResponse, RequestError>> {
-        self.rx.try_recv().ok()
+        match self.rx.try_recv() {
+            Ok(result) => Some(result),
+            Err(TryRecvError::Empty) => None,
+            Err(TryRecvError::Disconnected) => Some(Err(RequestError::ShutDown)),
+        }
+    }
+
+    /// Ask the scheduler to abandon this request. Checked once per
+    /// scheduling round (and at admission): the request retires with
+    /// [`RequestError::Cancelled`] and its batch slot frees up. A request
+    /// that already finished is unaffected — `wait` returns its result.
+    pub fn cancel(&self) {
+        self.cancel.store(true, Ordering::SeqCst);
+    }
+}
+
+impl Drop for ResponseHandle {
+    fn drop(&mut self) {
+        if self.cancel_on_drop {
+            self.cancel.store(true, Ordering::SeqCst);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// `shutdown` must report the scheduler thread's panic payload instead
+    /// of discarding it in `join`. Forged directly (per-request panics are
+    /// contained by the scheduler, so a real service only reaches this
+    /// path through a scheduler bug).
+    #[test]
+    fn shutdown_surfaces_scheduler_panics() {
+        crate::faults::silence_injected_panics();
+        let (tx, _rx) = mpsc::sync_channel(1);
+        let service = InferenceService {
+            tx: Some(tx),
+            policy: BackpressurePolicy::Block,
+            handle: Some(
+                std::thread::Builder::new()
+                    .name("lmpeel-serve-test".into())
+                    .spawn(|| panic!("{} scheduler bug", crate::faults::INJECTED_PANIC))
+                    .expect("spawn"),
+            ),
+            stats: Arc::new(Mutex::new(ServeStats::default())),
+            draining: Arc::new(AtomicBool::new(false)),
+        };
+        let err = service.shutdown().unwrap_err();
+        assert!(err.reason.contains("scheduler bug"), "got {err}");
+        assert!(err.to_string().contains("scheduler thread panicked"));
+    }
+
+    #[test]
+    fn terminal_counting_keeps_failed_and_breakdown_in_sync() {
+        let mut stats = ServeStats::default();
+        stats.count_terminal(&Err(RequestError::Cancelled));
+        stats.count_terminal(&Err(RequestError::DeadlineExceeded));
+        stats.count_terminal(&Err(RequestError::Panicked("x".into())));
+        stats.count_terminal(&Err(RequestError::SubstrateQuarantined("s".into())));
+        stats.count_terminal(&Err(RequestError::ShutDown));
+        stats.count_terminal(&Err(RequestError::UnknownSubstrate("u".into())));
+        assert_eq!(stats.failed, 6);
+        assert_eq!(
+            stats.cancelled
+                + stats.deadline_exceeded
+                + stats.panicked
+                + stats.quarantined
+                + stats.drained,
+            5,
+            "every kind-specific counter ticked exactly once"
+        );
+        assert_eq!(stats.completed, 0);
     }
 }
