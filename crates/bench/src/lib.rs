@@ -5,6 +5,7 @@
 //! library holds the bits they share: aligned text tables, CSV emission,
 //! and the standard experiment-record cache.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod table;

@@ -15,6 +15,7 @@
 //! selection of §III-B; and the exact natural-language and CSV
 //! serializations from Figure 1 ([`text`]).
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod editdist;

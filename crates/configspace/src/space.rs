@@ -166,7 +166,10 @@ impl ConfigSpace {
             (n as u64) <= card,
             "cannot sample {n} distinct configs from a space of {card}"
         );
-        let mut picked = std::collections::HashSet::with_capacity(n);
+        // BTreeSet so the pre-shuffle order is the sorted index order, not
+        // hash order: the shuffle below must start from the same
+        // permutation in every process for seed-stable sampling.
+        let mut picked = std::collections::BTreeSet::new();
         // Floyd's algorithm for a uniform n-subset of [0, card).
         for j in (card - n as u64)..card {
             let t = rng.random_range(0..=j);
@@ -175,7 +178,6 @@ impl ConfigSpace {
             }
         }
         let mut indices: Vec<u64> = picked.into_iter().collect();
-        indices.sort_unstable();
         indices.shuffle(rng);
         indices.into_iter().map(|i| self.config_at(i)).collect()
     }

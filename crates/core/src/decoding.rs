@@ -14,7 +14,7 @@ use lmpeel_stats::histogram::{weighted_mean, weighted_median};
 use lmpeel_stats::{seeded_rng, SeedDomain};
 use lmpeel_tokenizer::{TokenId, Tokenizer};
 use rand::RngExt;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::ops::Range;
 
 /// Grow a digit/period run starting at `start`; returns its end (exclusive)
@@ -187,7 +187,7 @@ pub fn value_distribution(
     });
 
     let vocab = tokenizer.vocab();
-    let mut agg: HashMap<u64, (f64, f64)> = HashMap::new(); // bits -> (value, weight)
+    let mut agg: BTreeMap<u64, (f64, f64)> = BTreeMap::new(); // bits -> (value, weight)
     let mut malformed = 0.0f64;
     let mut add = |text: &str, w: f64| match parse_wellformed(text) {
         Some(v) => {

@@ -23,6 +23,7 @@
 //! * [`autotune`] — surrogate-driven tuners (random search, boosted-tree
 //!   surrogate search, LLM-surrogate search) over the performance datasets.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod autotune;

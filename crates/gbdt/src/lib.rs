@@ -15,6 +15,7 @@
 //! ([`search`]), rayon-parallel over both split candidates and search
 //! iterations.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod boost;

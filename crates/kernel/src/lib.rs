@@ -15,6 +15,7 @@
 //! hours); this crate exists so the *code path the paper measures* is
 //! present, testable, and usable in examples.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod arrays;

@@ -1,0 +1,16 @@
+// Fixture: LML0002 positive sites. Never compiled.
+use std::time::{Instant, SystemTime};
+
+fn violations() -> u128 {
+    let t0 = Instant::now();
+    let _ = SystemTime::now();
+    let mut rng = rand::thread_rng();
+    let _ = rng;
+    t0.elapsed().as_nanos()
+}
+
+fn clean(deadline: Instant, d: std::time::Duration) -> bool {
+    // Passing Instants around is fine; only reading the clock is flagged.
+    let _ = (deadline, d);
+    true
+}

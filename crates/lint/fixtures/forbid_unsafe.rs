@@ -1,0 +1,5 @@
+// Fixture: LML0006 negative (attribute present). Never compiled.
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub fn ok() {}

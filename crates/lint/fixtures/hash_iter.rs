@@ -1,0 +1,47 @@
+// Fixture: LML0001 positive/negative/attested sites. Never compiled.
+use std::collections::{BTreeMap, HashMap, HashSet};
+
+struct Holder {
+    votes: HashMap<u32, f64>,
+}
+
+fn violations(h: &Holder) -> f64 {
+    let mut agg: HashMap<u64, f64> = HashMap::new();
+    agg.insert(1, 2.0);
+    let total: f64 = h.votes.values().sum(); // hash-order float sum
+    for (k, v) in &agg {
+        let _ = (k, v);
+    }
+    total
+}
+
+fn clean(h: &Holder) -> f64 {
+    let sorted: BTreeMap<u64, f64> = BTreeMap::new();
+    let mut acc = 0.0;
+    for (_, v) in &sorted {
+        acc += v;
+    }
+    // Lookups never observe iteration order.
+    acc += h.votes.get(&1).copied().unwrap_or(0.0);
+    let mut seen = HashSet::new();
+    seen.insert(1u32);
+    acc
+}
+
+fn attested(h: &Holder) -> Vec<u32> {
+    // lint: sorted — collected then fully sorted before use
+    let mut keys: Vec<u32> = h.votes.keys().copied().collect();
+    keys.sort_unstable();
+    keys
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn test_code_is_exempt() {
+        let m: HashMap<u32, u32> = HashMap::new();
+        for _ in m.iter() {}
+    }
+}

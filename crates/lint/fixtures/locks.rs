@@ -1,0 +1,14 @@
+// Fixture: LML0005 positive sites. Never compiled.
+use std::sync::{Mutex, RwLock};
+
+fn violations(m: &Mutex<u32>, rw: &RwLock<u32>) -> u32 {
+    let a = *m.lock().unwrap();
+    let b = *m.lock().expect("lock");
+    let c = *rw.read().unwrap();
+    a + b + c
+}
+
+fn clean(m: &Mutex<u32>) -> u32 {
+    // Routed through the poison-recovering helper.
+    *lmpeel_serve::sync::lock_unpoisoned(m)
+}

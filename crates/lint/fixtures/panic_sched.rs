@@ -1,0 +1,24 @@
+// Fixture: LML0004 positive/contained/attested sites. Never compiled.
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+fn violations(xs: &[u32], o: Option<u32>) -> u32 {
+    let first = xs[0];
+    let v = o.unwrap();
+    if v > 9000 {
+        panic!("over nine thousand");
+    }
+    first + v
+}
+
+fn contained(xs: &[u32]) -> u32 {
+    let r = catch_unwind(AssertUnwindSafe(|| {
+        let head = xs[0]; // inside the substrate boundary: allowed
+        head + xs.iter().copied().next().unwrap()
+    }));
+    r.unwrap_or(0)
+}
+
+fn attested(m: &std::collections::HashMap<u32, u32>) -> u32 {
+    // lint: panic-ok — key inserted for every entry at construction
+    *m.get(&1).expect("invariant: key exists")
+}

@@ -1,0 +1,16 @@
+// Fixture: LML0003 positive/attested sites. Never compiled.
+use rayon::prelude::*;
+
+fn violation(xs: &[f64]) -> f64 {
+    xs.par_iter().map(|x| x * 2.0).sum()
+}
+
+fn attested(xs: &[u64]) -> u64 {
+    // lint: det-reduce — integer addition is associative and commutative
+    xs.par_iter().copied().sum()
+}
+
+fn clean(xs: &[f64]) -> f64 {
+    let doubled: Vec<f64> = xs.par_iter().map(|x| x * 2.0).collect();
+    doubled.iter().sum()
+}

@@ -1,0 +1,221 @@
+//! `lint.toml` — the allowlist file.
+//!
+//! The build environment has no registry access, so instead of a `toml`
+//! dependency this module parses the small subset the allowlist needs:
+//! `[section]` headers, `key = "string"`, `key = ["a", "b"]` (including
+//! multi-line arrays) and `#` comments. Unknown sections and keys are
+//! rejected so a typo cannot silently disable a rule.
+
+use std::path::Path;
+
+/// Parsed allowlists. Paths are workspace-relative prefixes using `/`
+/// separators; a trailing `/` allowlists a whole directory.
+#[derive(Debug, Clone, Default)]
+pub struct Config {
+    /// Crate directory names (under `crates/`) whose decode path must be
+    /// iteration-order-deterministic (LML0001).
+    pub golden_crates: Vec<String>,
+    /// Files allowed to read wall clocks or OS entropy (LML0002).
+    pub clock_allow: Vec<String>,
+    /// Files held to the scheduler panic discipline (LML0004).
+    pub panic_scope: Vec<String>,
+    /// Files allowed to call `.lock().unwrap()/.expect()` directly because
+    /// they *define* the poison-recovering helper (LML0005).
+    pub lock_helpers: Vec<String>,
+}
+
+/// A parse failure with its 1-based line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfigError {
+    /// 1-based line in lint.toml.
+    pub line: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "lint.toml:{}: {}", self.line, self.message)
+    }
+}
+
+impl Config {
+    /// Parse the allowlist file at `path`.
+    pub fn load(path: &Path) -> Result<Self, ConfigError> {
+        let text = std::fs::read_to_string(path).map_err(|e| ConfigError {
+            line: 0,
+            message: format!("cannot read {}: {e}", path.display()),
+        })?;
+        Self::parse(&text)
+    }
+
+    /// Parse allowlist text.
+    pub fn parse(text: &str) -> Result<Self, ConfigError> {
+        let mut cfg = Config::default();
+        let mut section = String::new();
+        let mut lines = text.lines().enumerate().peekable();
+        while let Some((i, raw)) = lines.next() {
+            let lineno = i + 1;
+            let line = strip_comment(raw).trim().to_string();
+            if line.is_empty() {
+                continue;
+            }
+            if let Some(name) = line.strip_prefix('[').and_then(|s| s.strip_suffix(']')) {
+                section = name.trim().to_string();
+                if !matches!(
+                    section.as_str(),
+                    "determinism" | "clock" | "panic_safety" | "locks"
+                ) {
+                    return Err(ConfigError {
+                        line: lineno,
+                        message: format!("unknown section [{section}]"),
+                    });
+                }
+                continue;
+            }
+            let Some((key, value)) = line.split_once('=') else {
+                return Err(ConfigError {
+                    line: lineno,
+                    message: format!("expected `key = value`, got `{line}`"),
+                });
+            };
+            let key = key.trim();
+            let mut value = value.trim().to_string();
+            // Multi-line array: keep consuming lines until the bracket
+            // closes (comments stripped per line).
+            if value.starts_with('[') && !value.ends_with(']') {
+                for (_, cont) in lines.by_ref() {
+                    value.push(' ');
+                    value.push_str(strip_comment(cont).trim());
+                    if value.ends_with(']') {
+                        break;
+                    }
+                }
+            }
+            value = value.trim().to_string();
+            let target = match (section.as_str(), key) {
+                ("determinism", "golden_crates") => &mut cfg.golden_crates,
+                ("clock", "allow") => &mut cfg.clock_allow,
+                ("panic_safety", "scope") => &mut cfg.panic_scope,
+                ("locks", "helper") => &mut cfg.lock_helpers,
+                _ => {
+                    return Err(ConfigError {
+                        line: lineno,
+                        message: format!("unknown key `{key}` in section [{section}]"),
+                    })
+                }
+            };
+            *target = parse_string_array(&value).map_err(|message| ConfigError {
+                line: lineno,
+                message,
+            })?;
+        }
+        Ok(cfg)
+    }
+
+    /// Does `rel` (workspace-relative, `/`-separated) match an allowlist
+    /// entry? Entries are exact file paths or directory prefixes ending
+    /// in `/`.
+    pub fn path_matches(list: &[String], rel: &str) -> bool {
+        list.iter()
+            .any(|p| rel == p || (p.ends_with('/') && rel.starts_with(p.as_str())))
+    }
+}
+
+/// Strip a `#` comment, honouring `#` inside double-quoted strings.
+fn strip_comment(line: &str) -> &str {
+    let bytes = line.as_bytes();
+    let mut in_str = false;
+    for (i, &b) in bytes.iter().enumerate() {
+        match b {
+            b'"' => in_str = !in_str,
+            b'#' if !in_str => return &line[..i],
+            _ => {}
+        }
+    }
+    line
+}
+
+/// Parse `["a", "b"]` or `"a"` into a vector of strings.
+fn parse_string_array(value: &str) -> Result<Vec<String>, String> {
+    if let Some(one) = parse_string(value) {
+        return Ok(vec![one]);
+    }
+    let inner = value
+        .strip_prefix('[')
+        .and_then(|s| s.strip_suffix(']'))
+        .ok_or_else(|| format!("expected a string or array of strings, got `{value}`"))?;
+    let mut out = Vec::new();
+    for item in inner.split(',') {
+        let item = item.trim();
+        if item.is_empty() {
+            continue; // trailing comma
+        }
+        out.push(
+            parse_string(item).ok_or_else(|| format!("expected a quoted string, got `{item}`"))?,
+        );
+    }
+    Ok(out)
+}
+
+fn parse_string(s: &str) -> Option<String> {
+    s.strip_prefix('"')
+        .and_then(|s| s.strip_suffix('"'))
+        .map(str::to_string)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_sections_arrays_and_comments() {
+        let cfg = Config::parse(
+            r#"
+# top comment
+[determinism]
+golden_crates = ["core", "lm"] # inline
+
+[clock]
+allow = [
+  "crates/kernel/src/measure.rs", # the stopwatch itself
+  "crates/bench/",
+]
+
+[locks]
+helper = "crates/serve/src/sync.rs"
+"#,
+        )
+        .unwrap();
+        assert_eq!(cfg.golden_crates, vec!["core", "lm"]);
+        assert_eq!(
+            cfg.clock_allow,
+            vec!["crates/kernel/src/measure.rs", "crates/bench/"]
+        );
+        assert_eq!(cfg.lock_helpers, vec!["crates/serve/src/sync.rs"]);
+    }
+
+    #[test]
+    fn rejects_unknown_sections_and_keys() {
+        let err = Config::parse("[nope]\n").unwrap_err();
+        assert!(err.message.contains("unknown section"));
+        let err = Config::parse("[clock]\nallowed = [\"x\"]\n").unwrap_err();
+        assert!(err.message.contains("unknown key"), "{err}");
+        assert_eq!(err.line, 2);
+    }
+
+    #[test]
+    fn hash_inside_string_is_not_a_comment() {
+        let cfg = Config::parse("[clock]\nallow = [\"a#b\"]\n").unwrap();
+        assert_eq!(cfg.clock_allow, vec!["a#b"]);
+    }
+
+    #[test]
+    fn path_matching_exact_and_prefix() {
+        let list = vec!["crates/bench/".to_string(), "crates/a/src/x.rs".to_string()];
+        assert!(Config::path_matches(&list, "crates/bench/src/lib.rs"));
+        assert!(Config::path_matches(&list, "crates/a/src/x.rs"));
+        assert!(!Config::path_matches(&list, "crates/a/src/y.rs"));
+        assert!(!Config::path_matches(&list, "crates/benchmark/src/lib.rs"));
+    }
+}

@@ -1,0 +1,142 @@
+//! `lmpeel-lint` — the workspace invariant checker.
+//!
+//! Every quantitative claim this repo makes (parroting rates, the
+//! oracle-vs-XGBoost gap, serve-layer determinism) rests on byte-identical
+//! decode traces. Clippy cannot see the project-level invariants that
+//! protect them, so this crate machine-checks them on every commit:
+//!
+//! * **LML0001** — no hash-order iteration in golden-path crates
+//!   (`HashMap`/`HashSet` iteration order changes per process);
+//! * **LML0002** — no wall-clock or OS-entropy reads outside the
+//!   `lint.toml` allowlist;
+//! * **LML0003** — no unordered rayon float reductions;
+//! * **LML0004** — no panic constructs in scheduler round code outside
+//!   the `catch_unwind` substrate boundary;
+//! * **LML0005** — `.lock().unwrap()` only via the poison-recovering
+//!   helper in `lmpeel_serve::sync`;
+//! * **LML0006** — `#![forbid(unsafe_code)]` in every crate root.
+//!
+//! Sites that are provably safe carry a one-line attestation comment
+//! (`// lint: sorted — …`, `// lint: det-reduce — …`,
+//! `// lint: panic-ok — …`); file-level exemptions live in `lint.toml` at
+//! the workspace root. Run `cargo run -p lmpeel-lint` locally or with
+//! `-- --json` in CI.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod diag;
+pub mod lex;
+pub mod rules;
+
+use config::Config;
+use diag::Diagnostic;
+use rules::FileCtx;
+use std::path::{Path, PathBuf};
+
+/// Lint one in-memory source file under its workspace-relative path.
+/// Used by the fixture tests; `lint_workspace` is the filesystem driver.
+pub fn lint_source(rel: &str, source: &str, cfg: &Config) -> Vec<Diagnostic> {
+    rules::lint_file(&FileCtx::new(rel, source), cfg)
+}
+
+/// Outcome of a workspace run.
+#[derive(Debug)]
+pub struct Report {
+    /// Every finding, ordered by file then line.
+    pub diagnostics: Vec<Diagnostic>,
+    /// Number of `.rs` files analysed.
+    pub checked_files: usize,
+}
+
+/// Walk `crates/*` under `root`, lint every `.rs` file, and verify each
+/// crate root forbids unsafe code.
+pub fn lint_workspace(root: &Path, cfg: &Config) -> std::io::Result<Report> {
+    let mut files = Vec::new();
+    let crates_dir = root.join("crates");
+    let mut crate_dirs: Vec<PathBuf> = std::fs::read_dir(&crates_dir)?
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .filter(|p| p.is_dir())
+        .collect();
+    crate_dirs.sort();
+    for dir in &crate_dirs {
+        collect_rs_files(dir, &mut files)?;
+    }
+    files.sort();
+
+    let mut diagnostics = Vec::new();
+    let mut checked = 0usize;
+    for path in &files {
+        let rel = rel_path(root, path);
+        // The linter's own rule fixtures violate on purpose.
+        if rel.contains("/fixtures/") {
+            continue;
+        }
+        let source = std::fs::read_to_string(path)?;
+        checked += 1;
+        diagnostics.extend(lint_source(&rel, &source, cfg));
+    }
+
+    // LML0006: every crate root must forbid unsafe code.
+    for dir in &crate_dirs {
+        let root_src = ["src/lib.rs", "src/main.rs"]
+            .iter()
+            .map(|s| dir.join(s))
+            .find(|p| p.is_file());
+        if let Some(p) = root_src {
+            let source = std::fs::read_to_string(&p)?;
+            if let Some(d) = rules::check_forbid_unsafe(&rel_path(root, &p), &source) {
+                diagnostics.push(d);
+            }
+        }
+    }
+
+    diagnostics.sort_by(|a, b| {
+        (a.file.as_str(), a.line, a.col, a.rule).cmp(&(b.file.as_str(), b.line, b.col, b.rule))
+    });
+    Ok(Report {
+        diagnostics,
+        checked_files: checked,
+    })
+}
+
+fn rel_path(root: &Path, path: &Path) -> String {
+    path.strip_prefix(root)
+        .unwrap_or(path)
+        .components()
+        .map(|c| c.as_os_str().to_string_lossy())
+        .collect::<Vec<_>>()
+        .join("/")
+}
+
+fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    for entry in std::fs::read_dir(dir)? {
+        let path = entry?.path();
+        let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
+        if path.is_dir() {
+            if name == "target" {
+                continue;
+            }
+            collect_rs_files(&path, out)?;
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Locate the workspace root by walking up from `start` to the first
+/// directory containing `lint.toml`.
+pub fn find_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = start.to_path_buf();
+    loop {
+        if dir.join("lint.toml").is_file() {
+            return Some(dir);
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}

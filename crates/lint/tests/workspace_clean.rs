@@ -1,0 +1,38 @@
+//! Meta-test: the workspace itself is lint-clean. This is the same check
+//! CI runs via `cargo run -p lmpeel-lint -- --json`, so a violation fails
+//! `cargo test` even before the dedicated CI job gets to it.
+
+use lmpeel_lint::{config::Config, lint_workspace};
+use std::path::Path;
+
+#[test]
+fn workspace_has_no_violations() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(Path::parent)
+        .expect("crates/lint sits two levels below the workspace root")
+        .to_path_buf();
+    assert!(
+        root.join("lint.toml").is_file(),
+        "lint.toml missing at workspace root {}",
+        root.display()
+    );
+    let cfg = Config::load(&root.join("lint.toml")).expect("lint.toml parses");
+    let report = lint_workspace(&root, &cfg).expect("workspace walk");
+    assert!(
+        report.checked_files > 50,
+        "suspiciously few files checked: {}",
+        report.checked_files
+    );
+    assert!(
+        report.diagnostics.is_empty(),
+        "workspace must be lint-clean, found {} violation(s):\n{}",
+        report.diagnostics.len(),
+        report
+            .diagnostics
+            .iter()
+            .map(|d| format!("  {d}"))
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}

@@ -10,7 +10,7 @@
 //! Jaccard overlap of configuration tokens.
 
 use lmpeel_tokenizer::{TokenId, Tokenizer};
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 use std::ops::Range;
 
 /// One `Hyperparameter configuration: ... [Performance: ...]` block.
@@ -135,11 +135,11 @@ impl ContextMap {
         let Some(query) = self.query() else {
             return vec![];
         };
-        let qset: HashSet<TokenId> = context[query.config_span.clone()].iter().copied().collect();
+        let qset: BTreeSet<TokenId> = context[query.config_span.clone()].iter().copied().collect();
         self.blocks
             .iter()
             .map(|b| {
-                let bset: HashSet<TokenId> =
+                let bset: BTreeSet<TokenId> =
                     context[b.config_span.clone()].iter().copied().collect();
                 jaccard(&qset, &bset)
             })
@@ -148,7 +148,7 @@ impl ContextMap {
 }
 
 /// Jaccard index of two token sets; 1.0 when both are empty.
-pub fn jaccard(a: &HashSet<TokenId>, b: &HashSet<TokenId>) -> f64 {
+pub fn jaccard(a: &BTreeSet<TokenId>, b: &BTreeSet<TokenId>) -> f64 {
     if a.is_empty() && b.is_empty() {
         return 1.0;
     }
@@ -253,11 +253,11 @@ mod tests {
 
     #[test]
     fn jaccard_basics() {
-        let a: HashSet<TokenId> = [1, 2, 3].into_iter().collect();
-        let b: HashSet<TokenId> = [2, 3, 4].into_iter().collect();
+        let a: BTreeSet<TokenId> = [1, 2, 3].into_iter().collect();
+        let b: BTreeSet<TokenId> = [2, 3, 4].into_iter().collect();
         assert!((jaccard(&a, &b) - 0.5).abs() < 1e-12);
         assert_eq!(jaccard(&a, &a), 1.0);
-        assert_eq!(jaccard(&HashSet::new(), &HashSet::new()), 1.0);
-        assert_eq!(jaccard(&a, &HashSet::new()), 0.0);
+        assert_eq!(jaccard(&BTreeSet::new(), &BTreeSet::new()), 1.0);
+        assert_eq!(jaccard(&a, &BTreeSet::new()), 0.0);
     }
 }

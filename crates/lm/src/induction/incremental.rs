@@ -37,7 +37,7 @@
 use super::InductionLm;
 use crate::session::DecodeSession;
 use lmpeel_tokenizer::TokenId;
-use std::collections::{BTreeMap, HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Arc;
 
 /// Incremental state of one `Hyperparameter ...` block.
@@ -50,7 +50,7 @@ struct BlockState {
     perf_pos: Option<usize>,
     /// Distinct tokens of the configuration region (anchor inclusive,
     /// `Performance` exclusive) — the batch path's config-span set.
-    config: HashSet<TokenId>,
+    config: BTreeSet<TokenId>,
     /// `|config ∩ query config|`, maintained as an integer so the session's
     /// Jaccard is the very division the batch segmentation computes.
     inter_q: usize,
@@ -70,7 +70,7 @@ pub struct InductionLmSession {
     seed: u64,
     blocks: Vec<BlockState>,
     /// token -> ascending positions at which it occurs.
-    occ: HashMap<TokenId, Vec<usize>>,
+    occ: BTreeMap<TokenId, Vec<usize>>,
     /// position `t` -> current suffix-match length `m(t) >= 1`: the number
     /// of trailing context tokens that match the tokens before `t`, capped
     /// at `max_match`. Positions absent from the map have `m(t) = 0`.
@@ -86,7 +86,7 @@ impl InductionLmSession {
             tokens: Vec::new(),
             seed,
             blocks: Vec::new(),
-            occ: HashMap::new(),
+            occ: BTreeMap::new(),
             match_len: BTreeMap::new(),
         }
     }
@@ -117,10 +117,10 @@ impl InductionLmSession {
     /// `InductionLm::induction_votes` term for term — same weights, same
     /// short-match fallback, same ascending-position accumulation order —
     /// but walking only the sparse nonzero-match set.
-    fn assemble_votes(&self) -> (HashMap<TokenId, f64>, f64) {
+    fn assemble_votes(&self) -> (BTreeMap<TokenId, f64>, f64) {
         let cfg = self.model.config();
         let t_end = self.tokens.len();
-        let mut votes: HashMap<TokenId, f64> = HashMap::new();
+        let mut votes: BTreeMap<TokenId, f64> = BTreeMap::new();
         let mut strength = 0.0f64;
         if t_end < cfg.min_match + 1 {
             return (votes, strength);
@@ -140,7 +140,7 @@ impl InductionLmSession {
                 None => cfg.non_block_weight,
             }
         };
-        let mut short_votes: HashMap<TokenId, f64> = HashMap::new();
+        let mut short_votes: BTreeMap<TokenId, f64> = BTreeMap::new();
         let mut short_strength = 0.0f64;
         for (&t, &k) in &self.match_len {
             if k >= cfg.min_match {
@@ -186,7 +186,7 @@ impl DecodeSession for InductionLmSession {
         // Segmentation and similarity counts.
         let anchors = self.model.anchor_ids();
         if token == anchors.hyper {
-            let mut config = HashSet::new();
+            let mut config = BTreeSet::new();
             config.insert(token);
             self.blocks.push(BlockState {
                 start: p,

@@ -45,7 +45,7 @@ use blocks::{AnchorIds, ContextMap};
 use lmpeel_stats::rng::{hash_bytes, hash_to_unit};
 use lmpeel_tokenizer::{TokenId, Tokenizer, EOS};
 use prior::{MagnitudePrior, ValueState};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Tunable parameters of the surrogate. Defaults reproduce the paper's
 /// qualitative behaviour; the experiment calibration tests in
@@ -281,9 +281,9 @@ impl InductionLm {
         context: &[TokenId],
         map: &ContextMap,
         sims: &[f64],
-    ) -> (HashMap<TokenId, f64>, f64) {
+    ) -> (BTreeMap<TokenId, f64>, f64) {
         let t_end = context.len();
-        let mut votes: HashMap<TokenId, f64> = HashMap::new();
+        let mut votes: BTreeMap<TokenId, f64> = BTreeMap::new();
         let mut strength = 0.0f64;
         if t_end < self.cfg.min_match + 1 {
             return (votes, strength);
@@ -307,7 +307,7 @@ impl InductionLm {
                 None => self.cfg.non_block_weight,
             }
         };
-        let mut short_votes: HashMap<TokenId, f64> = HashMap::new();
+        let mut short_votes: BTreeMap<TokenId, f64> = BTreeMap::new();
         let mut short_strength = 0.0f64;
         for t in 1..t_end {
             // Match context[t-k..t] against context[t_end-k..t_end].
@@ -338,7 +338,7 @@ impl InductionLm {
     }
 
     /// Numeric smearing of fraction votes over nearby 3-digit groups.
-    fn smear(&self, votes: &HashMap<TokenId, f64>) -> Vec<(TokenId, f64)> {
+    fn smear(&self, votes: &BTreeMap<TokenId, f64>) -> Vec<(TokenId, f64)> {
         let centers: Vec<(u32, f64)> = votes
             .iter()
             .filter_map(|(&id, &w)| {
@@ -394,7 +394,7 @@ impl InductionLm {
         }
     }
 
-    fn normalized(votes: &HashMap<TokenId, f64>) -> Vec<(TokenId, f64)> {
+    fn normalized(votes: &BTreeMap<TokenId, f64>) -> Vec<(TokenId, f64)> {
         let total: f64 = votes.values().sum();
         if total <= 0.0 {
             return vec![];
@@ -443,7 +443,7 @@ impl InductionLm {
         context: &[TokenId],
         n_blocks: usize,
         query_start: Option<usize>,
-        votes: &HashMap<TokenId, f64>,
+        votes: &BTreeMap<TokenId, f64>,
         strength: f64,
         seed: u64,
     ) -> Vec<f32> {

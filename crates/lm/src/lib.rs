@@ -20,6 +20,7 @@
 //!   seed-keyed logit jitter. Section-level doc comments spell out which
 //!   published LLM behaviour each component reproduces.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod constrain;

@@ -27,6 +27,7 @@
 //! [`dataset`] materializes the full lattice (in parallel) and provides
 //! splits; [`splits`] builds the ICL replica structure of par. III-B.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod costmodel;

@@ -69,25 +69,25 @@ impl FaultGate {
 
     /// Block until a faulted session first reaches the gate.
     pub fn wait_entered(&self) {
-        let mut s = self.state.lock().expect("gate lock");
+        let mut s = crate::sync::lock_unpoisoned(&self.state);
         while !s.entered {
-            s = self.cv.wait(s).expect("gate wait");
+            s = crate::sync::wait_unpoisoned(&self.cv, s);
         }
     }
 
     /// Open the gate, releasing every session blocked on it (and any that
     /// arrive later).
     pub fn open(&self) {
-        self.state.lock().expect("gate lock").open = true;
+        crate::sync::lock_unpoisoned(&self.state).open = true;
         self.cv.notify_all();
     }
 
     fn enter_and_wait(&self) {
-        let mut s = self.state.lock().expect("gate lock");
+        let mut s = crate::sync::lock_unpoisoned(&self.state);
         s.entered = true;
         self.cv.notify_all();
         while !s.open {
-            s = self.cv.wait(s).expect("gate wait");
+            s = crate::sync::wait_unpoisoned(&self.cv, s);
         }
     }
 }
@@ -198,10 +198,8 @@ impl DecodeSession for FaultySession {
             Fault::EmptyLogitsOnStep(n) if step == *n && self.model.budget.fire() => {
                 return vec![f32::NEG_INFINITY; self.model.tokenizer().vocab().len()];
             }
-            Fault::HangUntilGate(gate) => {
-                if self.model.budget.fire() {
-                    gate.enter_and_wait();
-                }
+            Fault::HangUntilGate(gate) if self.model.budget.fire() => {
+                gate.enter_and_wait();
             }
             _ => {}
         }

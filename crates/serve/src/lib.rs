@@ -39,6 +39,7 @@
 //! assert!(!response.trace.steps.is_empty());
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 #[cfg(any(test, feature = "fault-inject"))]
@@ -46,6 +47,7 @@ pub mod faults;
 mod request;
 mod scheduler;
 mod service;
+pub mod sync;
 mod trie;
 
 pub use request::{
@@ -227,14 +229,14 @@ mod tests {
 
     impl Gate {
         fn wait_entered(&self) {
-            let mut s = self.state.lock().unwrap();
+            let mut s = crate::sync::lock_unpoisoned(&self.state);
             while !s.entered {
-                s = self.cv.wait(s).unwrap();
+                s = crate::sync::wait_unpoisoned(&self.cv, s);
             }
         }
 
         fn open(&self) {
-            self.state.lock().unwrap().open = true;
+            crate::sync::lock_unpoisoned(&self.state).open = true;
             self.cv.notify_all();
         }
     }
@@ -244,11 +246,11 @@ mod tests {
             &self.tok
         }
         fn logits(&self, _c: &[lmpeel_tokenizer::TokenId]) -> Vec<f32> {
-            let mut s = self.gate.state.lock().unwrap();
+            let mut s = crate::sync::lock_unpoisoned(&self.gate.state);
             s.entered = true;
             self.gate.cv.notify_all();
             while !s.open {
-                s = self.gate.cv.wait(s).unwrap();
+                s = crate::sync::wait_unpoisoned(&self.gate.cv, s);
             }
             vec![0.0; self.tok.vocab().len()]
         }

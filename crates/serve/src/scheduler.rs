@@ -250,27 +250,19 @@ impl Scheduler {
         for w in &mut self.inflight {
             w.step();
         }
-        let mut i = 0;
-        while i < self.inflight.len() {
-            if self.inflight[i].done() {
-                let w = self.inflight.swap_remove(i);
-                match &w.error {
-                    Some(RequestError::Panicked(_)) => self.note_panic(&w.substrate),
-                    None => self.note_success(&w.substrate),
-                    Some(_) => {}
-                }
-                let (responder, result) = w.finish();
-                // Settle the counters *before* the response lands: a caller
-                // reading stats() right after wait() must see this request.
-                {
-                    let mut stats = self.stats.lock().expect("stats lock");
-                    stats.count_terminal(&result);
-                }
-                // A dropped handle just means the caller stopped caring.
-                let _ = responder.send(result);
-            } else {
-                i += 1;
+        let finished: Vec<Inflight> = self.inflight.extract_if(.., |w| w.done()).collect();
+        for w in finished {
+            match &w.error {
+                Some(RequestError::Panicked(_)) => self.note_panic(&w.substrate),
+                None => self.note_success(&w.substrate),
+                Some(_) => {}
             }
+            let (responder, result) = w.finish();
+            // Settle the counters *before* the response lands: a caller
+            // reading stats() right after wait() must see this request.
+            crate::sync::lock_unpoisoned(&self.stats).count_terminal(&result);
+            // A dropped handle just means the caller stopped caring.
+            let _ = responder.send(result);
         }
     }
 
@@ -298,10 +290,7 @@ impl Scheduler {
         // error lands so stats() is consistent the moment wait() returns.
         self.publish_trie_stats();
         let result = Err(e);
-        self.stats
-            .lock()
-            .expect("stats lock")
-            .count_terminal(&result);
+        crate::sync::lock_unpoisoned(&self.stats).count_terminal(&result);
         let _ = responder.send(result);
     }
 
@@ -337,6 +326,7 @@ impl Scheduler {
             return;
         };
         let model = Arc::clone(model);
+        // lint: panic-ok — `tries` is built from `models.keys()` in `new()` and never shrinks, so the model hit above implies a trie entry
         let trie = self.tries.get_mut(&substrate).expect("trie per model");
         self.trie_dirty = true;
 
@@ -413,6 +403,6 @@ impl Scheduler {
             prefix.tokens_prefilled += t.tokens_prefilled;
             prefix.evictions += t.evictions;
         }
-        self.stats.lock().expect("stats lock").prefix = prefix;
+        crate::sync::lock_unpoisoned(&self.stats).prefix = prefix;
     }
 }

@@ -229,7 +229,7 @@ impl InferenceService {
         // Count the submission *before* the envelope is visible to the
         // scheduler: a fast completion could otherwise make stats()
         // transiently report completed > submitted.
-        self.stats.lock().expect("stats lock").submitted += 1;
+        crate::sync::lock_unpoisoned(&self.stats).submitted += 1;
         let enqueued = match self.policy {
             BackpressurePolicy::Block => tx.send(env).map_err(|_| RequestError::ShutDown),
             BackpressurePolicy::Reject => match tx.try_send(env) {
@@ -241,7 +241,7 @@ impl InferenceService {
         if let Err(e) = enqueued {
             // The scheduler never saw this request: roll the submission
             // back and account for the shed instead.
-            let mut stats = self.stats.lock().expect("stats lock");
+            let mut stats = crate::sync::lock_unpoisoned(&self.stats);
             stats.submitted -= 1;
             stats.rejected += 1;
             return Err(e);
@@ -260,7 +260,7 @@ impl InferenceService {
 
     /// Current counters (settled after each scheduling round).
     pub fn stats(&self) -> ServeStats {
-        *self.stats.lock().expect("stats lock")
+        *crate::sync::lock_unpoisoned(&self.stats)
     }
 
     /// Gracefully drain and join the scheduler: stop admitting, let

@@ -1,0 +1,43 @@
+//! Poison-recovering lock helpers.
+//!
+//! The scheduler isolates per-request panics with `catch_unwind`, so a
+//! poisoned mutex here means a *contained* panic already happened and the
+//! data under the lock (monotonic counters, gate flags) is still valid.
+//! Propagating the poison with `.lock().unwrap()` would instead wedge
+//! every later reader and escalate one failed request into a dead
+//! service. These helpers recover the guard and carry on; this module is
+//! the only code in the workspace allowed to touch the raw poison API
+//! (enforced by `lmpeel-lint` rule LML0005).
+
+use std::sync::{Condvar, Mutex, MutexGuard, PoisonError};
+
+/// Lock `m`, recovering the guard if a previous holder panicked.
+pub fn lock_unpoisoned<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Wait on `cv`, recovering the guard if another holder panicked while we
+/// were parked.
+pub fn wait_unpoisoned<'a, T>(cv: &Condvar, guard: MutexGuard<'a, T>) -> MutexGuard<'a, T> {
+    cv.wait(guard).unwrap_or_else(PoisonError::into_inner)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+    use std::sync::Mutex;
+
+    #[test]
+    fn lock_recovers_after_a_poisoning_panic() {
+        let m = Mutex::new(7u32);
+        let _ = catch_unwind(AssertUnwindSafe(|| {
+            let _g = m.lock().unwrap_or_else(PoisonError::into_inner);
+            panic!("poison it");
+        }));
+        assert!(m.is_poisoned());
+        assert_eq!(*lock_unpoisoned(&m), 7, "data survives the poison");
+        *lock_unpoisoned(&m) += 1;
+        assert_eq!(*lock_unpoisoned(&m), 8);
+    }
+}

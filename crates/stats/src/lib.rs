@@ -16,6 +16,7 @@
 //! Everything here is dependency-light and deterministic; no wall-clock, no
 //! global state.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod histogram;

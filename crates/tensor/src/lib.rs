@@ -7,6 +7,7 @@
 //! are deterministic and allocation-conscious (callers pass output buffers
 //! where it matters on the hot path).
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod matrix;

@@ -11,6 +11,7 @@
 //! handful of chat special tokens; and a greedy longest-match
 //! [`tokenizer::Tokenizer`] with offset-tracking encode and exact decode.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod tokenizer;

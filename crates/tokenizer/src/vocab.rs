@@ -15,7 +15,7 @@
 //!    frequent punctuation clusters. Words containing digits are excluded
 //!    so numeric grouping stays canonical.
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 
 /// Dense token identifier.
 pub type TokenId = u32;
@@ -86,7 +86,7 @@ impl Vocab {
         }
 
         // 4. corpus words, most frequent first, with leading-space variants.
-        let mut freq: HashMap<String, u64> = HashMap::new();
+        let mut freq: BTreeMap<String, u64> = BTreeMap::new();
         for line in corpus.lines() {
             let mut first = true;
             for word in line.split(' ') {

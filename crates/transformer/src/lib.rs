@@ -24,6 +24,7 @@
 //! real. It implements [`lmpeel_lm::LanguageModel`], so the whole
 //! experiment pipeline can run against it.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod attention;
