@@ -2,12 +2,15 @@
 //!
 //! Writes predicted-vs-actual scatter data to `bench_out/figure2_{sm,xl}.csv`
 //! and prints an ASCII rendering of each panel.
+//!
+//! Pass `--journal <path>` (or `--resume <path>`) to commit each panel's
+//! fit to a write-ahead journal, making the run resumable after a kill.
 
-use lmpeel_bench::runs::{arg_flag, out_dir, table1_fit};
+use lmpeel_bench::runs::{arg_flag, open_fit_journal, out_dir, table1_fit_at, write_golden};
 use lmpeel_configspace::ArraySize;
 use lmpeel_perfdata::DatasetBundle;
 use lmpeel_stats::RegressionReport;
-use std::io::Write;
+use std::fmt::Write as _;
 
 fn ascii_scatter(pred: &[f64], truth: &[f64], bins: usize) -> String {
     let lo = truth.iter().cloned().fold(f64::INFINITY, f64::min);
@@ -41,19 +44,21 @@ fn ascii_scatter(pred: &[f64], truth: &[f64], bins: usize) -> String {
 
 fn main() {
     let iters = arg_flag("--iters", 40);
+    let mut journal = open_fit_journal(iters);
     let bundle = DatasetBundle::paper();
     let dir = out_dir();
     println!("Figure 2 reproduction: XGBoost predictions, 8519 training examples\n");
     for size in [ArraySize::SM, ArraySize::XL] {
         let dataset = bundle.for_size(size);
-        let (_r, pred, truth) = table1_fit(dataset, 8519, iters);
+        let (pred, truth) = table1_fit_at(dataset, size, 8519, iters, journal.as_mut());
         let rep = RegressionReport::score(&pred, &truth);
         let path = dir.join(format!("figure2_{}.csv", size.label().to_lowercase()));
-        let mut f = std::fs::File::create(&path).expect("create csv");
-        writeln!(f, "actual,predicted").unwrap();
+        let mut csv = String::new();
+        writeln!(csv, "actual,predicted").unwrap();
         for (&p, &t) in pred.iter().zip(&truth) {
-            writeln!(f, "{t},{p}").unwrap();
+            writeln!(csv, "{t},{p}").unwrap();
         }
+        write_golden(&path, csv.as_bytes());
         println!("{size}: {rep}  -> {}", path.display());
         println!("{}", ascii_scatter(&pred, &truth, 40));
     }

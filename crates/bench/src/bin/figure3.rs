@@ -5,27 +5,50 @@
 //! generable-value distribution for each prompt/seed, overlays it with the
 //! ICL value density, and reports how much generated mass falls on the most
 //! common ICL prefixes. CSV: `bench_out/figure3.csv`.
+//!
+//! Pass `--journal <path>` (or `--resume <path>`) to journal each completed
+//! generation; a killed run resumed against the same journal produces a
+//! byte-identical CSV.
 
-use lmpeel_bench::runs::out_dir;
-use lmpeel_core::decoding::{value_distribution, value_span};
-use lmpeel_core::prompt::PromptBuilder;
-use lmpeel_lm::{generate, GenerateSpec, InductionLm, LanguageModel, Sampler};
-use lmpeel_perfdata::{curated_icl_replicas, DatasetBundle};
+use lmpeel_bench::runs::{journal_flag, out_dir, run_plan_at, write_golden};
+use lmpeel_configspace::ArraySize;
+use lmpeel_core::decoding::value_distribution;
+use lmpeel_core::experiment::ExperimentPlan;
+use lmpeel_perfdata::DatasetBundle;
 use lmpeel_stats::{Histogram, HistogramSpec};
-use lmpeel_tokenizer::EOS;
 use std::collections::HashMap;
-use std::io::Write;
+use std::fmt::Write as _;
 
 fn prefix3(v: f64) -> String {
     // "0.002" -- the value's first fractional digit-group prefix.
     lmpeel_configspace::text::format_runtime(v)[..5].to_string()
 }
 
+/// The figure's grid: the curated SM setting with 50 examples, 5 replicas,
+/// 3 seeds, single-line values. Same prompts, specs and seeds as the
+/// original inline loop — routed through the experiment driver so the run
+/// is journalable.
+fn plan() -> ExperimentPlan {
+    ExperimentPlan {
+        sizes: vec![],
+        icl_counts: vec![],
+        replicas: 5,
+        seeds: vec![0, 1, 2],
+        curated_sizes: vec![ArraySize::SM],
+        curated_counts: vec![50],
+        selection_seed: 1,
+        max_tokens: 24,
+        trace_min_prob: 1e-4,
+        stop_at_newline: true,
+    }
+}
+
 fn main() {
     let bundle = DatasetBundle::paper();
     let dataset = &bundle.sm;
-    let sets = curated_icl_replicas(dataset, 50, 5, 1);
-    let builder = PromptBuilder::new(dataset.space().clone(), dataset.size());
+    let plan = plan();
+    let records = run_plan_at(&bundle, &plan, journal_flag().as_deref());
+    let tok = lmpeel_tokenizer::Tokenizer::paper();
 
     let lo = dataset.summary().min * 0.5;
     let hi = dataset.summary().max * 1.5;
@@ -34,31 +57,22 @@ fn main() {
     let mut gen_hist = Histogram::new(spec_hist);
     let mut prefix_gen: HashMap<String, f64> = HashMap::new();
     let mut prefix_icl: HashMap<String, usize> = HashMap::new();
-    let tok = lmpeel_tokenizer::Tokenizer::paper();
 
-    for set in &sets {
-        for &(_, r) in &set.examples {
-            icl_hist.add(r);
-            *prefix_icl.entry(prefix3(r)).or_insert(0) += 1;
+    // Records arrive in grid order (replicas outer, seeds inner), so the
+    // accumulation order — each set's ICL values once, then its per-seed
+    // distributions — is exactly the original inline loop's.
+    for rec in &records {
+        if rec.seed == plan.seeds[0] {
+            for &r in &rec.icl_values {
+                icl_hist.add(r);
+                *prefix_icl.entry(prefix3(r)).or_insert(0) += 1;
+            }
         }
-        for seed in 0..3u64 {
-            let model = std::sync::Arc::new(InductionLm::paper(seed));
-            let ids = builder.for_icl_set(set).to_tokens(model.tokenizer());
-            let gspec = GenerateSpec::builder()
-                .sampler(Sampler::paper())
-                .max_tokens(24)
-                .stop_tokens(vec![tok.vocab().token_id("\n").unwrap(), tok.special(EOS)])
-                .trace_min_prob(1e-4)
-                .seed(seed)
-                .build()
-                .unwrap();
-            let trace = generate(&model, &ids, &gspec).unwrap();
-            if let Some(span) = value_span(&trace, &tok) {
-                let dist = value_distribution(&trace, span, &tok, 20_000, seed);
-                for &(v, w) in &dist.candidates {
-                    gen_hist.add_weighted(v, w);
-                    *prefix_gen.entry(prefix3(v)).or_insert(0.0) += w;
-                }
+        if let Some(span) = rec.value_span.clone() {
+            let dist = value_distribution(&rec.trace, span, &tok, 20_000, rec.seed);
+            for &(v, w) in &dist.candidates {
+                gen_hist.add_weighted(v, w);
+                *prefix_gen.entry(prefix3(v)).or_insert(0.0) += w;
             }
         }
     }
@@ -66,14 +80,15 @@ fn main() {
     // CSV: bin edges, ICL density, generable density.
     let dir = out_dir();
     let path = dir.join("figure3.csv");
-    let mut f = std::fs::File::create(&path).expect("create csv");
-    writeln!(f, "bin_lo,bin_hi,icl_density,generable_density").unwrap();
+    let mut csv = String::new();
+    writeln!(csv, "bin_lo,bin_hi,icl_density,generable_density").unwrap();
     let icl_n = icl_hist.normalized();
     let gen_n = gen_hist.normalized();
     for i in 0..spec_hist.bins() {
         let (blo, bhi) = spec_hist.edges_of(i);
-        writeln!(f, "{blo},{bhi},{},{}", icl_n[i], gen_n[i]).unwrap();
+        writeln!(csv, "{blo},{bhi},{},{}", icl_n[i], gen_n[i]).unwrap();
     }
+    write_golden(&path, csv.as_bytes());
 
     println!("Figure 3 reproduction: curated-ICL response clustering (SM, 50 examples)\n");
     println!("ICL value density (log-spaced bins):");

@@ -5,27 +5,53 @@
 //! whose in-context values straddle two leading digits, then verifies the
 //! paper's observation that different seeds produce identical token sets
 //! with only trivially different probabilities. CSV: `bench_out/figure4.csv`.
+//!
+//! Pass `--journal <path>` (or `--resume <path>`) to journal each completed
+//! generation; a killed run resumed against the same journal produces a
+//! byte-identical CSV.
 
-use lmpeel_bench::runs::out_dir;
-use lmpeel_core::decoding::{value_distribution, value_span};
-use lmpeel_core::prompt::PromptBuilder;
-use lmpeel_lm::{generate, GenerateSpec, InductionLm, LanguageModel, Sampler};
+use lmpeel_bench::runs::{journal_flag, out_dir, run_plan_at, write_golden};
+use lmpeel_configspace::ArraySize;
+use lmpeel_core::decoding::value_distribution;
+use lmpeel_core::experiment::{ExperimentPlan, PredictionRecord};
 use lmpeel_perfdata::{icl_replicas, DatasetBundle};
 use lmpeel_stats::{Histogram, HistogramSpec};
-use lmpeel_tokenizer::EOS;
-use std::io::Write;
+use std::fmt::Write as _;
 
 /// One seed's series: (seed, value histogram, first-position token probs).
 type SeedSeries = (u64, Histogram, Vec<(u32, f32)>);
 
+/// The figure's grid: the random XL setting with 20 examples, 5 replicas,
+/// 3 seeds, single-line values — the replica with the widest leading-digit
+/// spread is selected after the (journalable) run.
+fn plan() -> ExperimentPlan {
+    ExperimentPlan {
+        sizes: vec![ArraySize::XL],
+        icl_counts: vec![20],
+        replicas: 5,
+        seeds: vec![0, 1, 2],
+        curated_sizes: vec![],
+        curated_counts: vec![],
+        selection_seed: 3,
+        max_tokens: 24,
+        trace_min_prob: 1e-4,
+        stop_at_newline: true,
+    }
+}
+
 fn main() {
     let bundle = DatasetBundle::paper();
     let dataset = &bundle.xl;
-    // Pick the replica whose ICL values straddle the most leading digits.
-    let sets = icl_replicas(dataset, 20, 5, 3);
-    let set = sets
+    let plan = plan();
+    let records = run_plan_at(&bundle, &plan, journal_flag().as_deref());
+    // Pick the replica whose ICL values straddle the most leading digits
+    // (same selection, and same last-max tie-break, as the original
+    // inline loop over `icl_replicas`).
+    let sets = icl_replicas(dataset, 20, plan.replicas, plan.selection_seed);
+    let (chosen, set) = sets
         .iter()
-        .max_by_key(|s| {
+        .enumerate()
+        .max_by_key(|(_, s)| {
             s.examples
                 .iter()
                 .map(|&(_, r)| r as u64)
@@ -33,8 +59,6 @@ fn main() {
                 .len()
         })
         .expect("non-empty");
-    let builder = PromptBuilder::new(dataset.space().clone(), dataset.size());
-    let prompt = builder.for_icl_set(set);
     let tok = lmpeel_tokenizer::Tokenizer::paper();
 
     let lo = dataset.summary().min * 0.8;
@@ -42,27 +66,18 @@ fn main() {
     let spec_hist = HistogramSpec::Linear { lo, hi, bins: 18 };
 
     let mut per_seed: Vec<SeedSeries> = Vec::new();
-    for seed in 0..3u64 {
-        let model = std::sync::Arc::new(InductionLm::paper(seed));
-        let ids = prompt.to_tokens(model.tokenizer());
-        let gspec = GenerateSpec::builder()
-            .sampler(Sampler::paper())
-            .max_tokens(24)
-            .stop_tokens(vec![tok.vocab().token_id("\n").unwrap(), tok.special(EOS)])
-            .trace_min_prob(1e-4)
-            .seed(seed)
-            .build()
-            .unwrap();
-        let trace = generate(&model, &ids, &gspec).unwrap();
-        let span = value_span(&trace, &tok).expect("value generated");
-        let first = &trace.steps[span.start];
+    let picked: Vec<&PredictionRecord> =
+        records.iter().filter(|r| r.replica == chosen).collect();
+    for rec in picked {
+        let span = rec.value_span.clone().expect("value generated");
+        let first = &rec.trace.steps[span.start];
         let firsts: Vec<(u32, f32)> = first.alternatives.iter().map(|a| (a.id, a.prob)).collect();
-        let dist = value_distribution(&trace, span, &tok, 20_000, seed);
+        let dist = value_distribution(&rec.trace, span, &tok, 20_000, rec.seed);
         let mut h = Histogram::new(spec_hist);
         for &(v, w) in &dist.candidates {
             h.add_weighted(v, w);
         }
-        per_seed.push((seed, h, firsts));
+        per_seed.push((rec.seed, h, firsts));
     }
 
     println!("Figure 4 reproduction: per-seed generable-value distributions (XL, 20 ICL)\n");
@@ -75,8 +90,8 @@ fn main() {
     );
     let dir = out_dir();
     let path = dir.join("figure4.csv");
-    let mut f = std::fs::File::create(&path).expect("create csv");
-    writeln!(f, "seed,bin_lo,bin_hi,density").unwrap();
+    let mut csv = String::new();
+    writeln!(csv, "seed,bin_lo,bin_hi,density").unwrap();
     for (seed, h, firsts) in &per_seed {
         println!("seed {seed}: first-token candidates (token: prob):");
         for (id, p) in firsts {
@@ -86,9 +101,10 @@ fn main() {
         println!("modes detected (>=5% mass): {}\n", h.modes(0.05));
         for i in 0..spec_hist.bins() {
             let (blo, bhi) = spec_hist.edges_of(i);
-            writeln!(f, "{seed},{blo},{bhi},{}", h.normalized()[i]).unwrap();
+            writeln!(csv, "{seed},{blo},{bhi},{}", h.normalized()[i]).unwrap();
         }
     }
+    write_golden(&path, csv.as_bytes());
 
     // Paper claim: identical token sets across seeds, trivially different
     // probabilities.

@@ -7,7 +7,7 @@
 //! surrogate and prints per-setting metrics plus the §IV-A aggregate
 //! quantities next to the paper's values.
 
-use lmpeel_bench::runs::paper_records;
+use lmpeel_bench::runs::{journal_flag, paper_records_at};
 use lmpeel_bench::TextTable;
 use lmpeel_core::experiment::{overall_report, setting_reports};
 use lmpeel_perfdata::DatasetBundle;
@@ -15,7 +15,9 @@ use lmpeel_perfdata::DatasetBundle;
 fn main() {
     let t0 = std::time::Instant::now();
     let bundle = DatasetBundle::paper();
-    let records = paper_records(&bundle);
+    // --journal/--resume <path>: journal each completed generation so a
+    // killed run resumes instead of redecoding the whole 285-cell grid.
+    let records = paper_records_at(&bundle, journal_flag().as_deref());
     eprintln!(
         "ran {} generations in {:.1}s",
         records.len(),

@@ -5,13 +5,16 @@
 //! with `--iters N`) and scores the winner on the held-out 20% test split.
 //! Prints measured values next to the paper's.
 
-use lmpeel_bench::runs::{arg_flag, table1_fit, TABLE1_PAPER};
+use lmpeel_bench::runs::{arg_flag, open_fit_journal, table1_fit_at, TABLE1_PAPER};
 use lmpeel_bench::TextTable;
 use lmpeel_perfdata::DatasetBundle;
 use lmpeel_stats::RegressionReport;
 
 fn main() {
     let iters = arg_flag("--iters", 40);
+    // --journal/--resume <path>: commit each fitted row to a write-ahead
+    // journal so a killed run resumes from the last completed fit.
+    let mut journal = open_fit_journal(iters);
     let bundle = DatasetBundle::paper();
     println!("Table I reproduction: XGBoost prediction metrics ({iters} search iterations)\n");
     let mut table = TextTable::new(vec![
@@ -27,7 +30,7 @@ fn main() {
     for &(n_train, size, p_r2, p_mare, p_msre) in &TABLE1_PAPER {
         let dataset = bundle.for_size(size);
         let t0 = std::time::Instant::now();
-        let (_result, pred, truth) = table1_fit(dataset, n_train, iters);
+        let (pred, truth) = table1_fit_at(dataset, size, n_train, iters, journal.as_mut());
         let rep = RegressionReport::score(&pred, &truth);
         eprintln!(
             "  fitted {size} n={n_train} in {:.1}s (test {})",

@@ -1,7 +1,7 @@
 //! Table II: variability in the number of selectable tokens per generated
 //! value position, across all §IV-A experiments.
 
-use lmpeel_bench::runs::paper_records;
+use lmpeel_bench::runs::{journal_flag, paper_records_at};
 use lmpeel_bench::TextTable;
 use lmpeel_core::decoding::value_span;
 use lmpeel_core::tokenstats::TokenStatsTable;
@@ -23,7 +23,8 @@ const PAPER: [(usize, f64, f64, usize); 9] = [
 
 fn main() {
     let bundle = DatasetBundle::paper();
-    let records = paper_records(&bundle);
+    // --journal/--resume <path>: resumable grid, same records either way.
+    let records = paper_records_at(&bundle, journal_flag().as_deref());
     let tok = Tokenizer::paper();
     let table = TokenStatsTable::aggregate(
         records

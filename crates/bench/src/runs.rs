@@ -2,14 +2,89 @@
 
 use lmpeel_configspace::ArraySize;
 use lmpeel_core::experiment::{run_plan, ExperimentPlan, PredictionRecord};
+use lmpeel_core::journal::{run_plan_journaled_with_crash, size_ordinal};
+use lmpeel_core::run_plan_journaled;
 use lmpeel_gbdt::{random_search, SearchResult, SearchSpace};
 use lmpeel_lm::InductionLm;
 use lmpeel_perfdata::{DatasetBundle, PerfDataset};
+use lmpeel_recover::wire::{self, Reader};
+use lmpeel_recover::{
+    atomic_write, fnv1a64, CrashAfter, CrashMode, JournalRecord, Recovery, RunJournal,
+};
+use std::path::{Path, PathBuf};
 
 /// Run the paper's full experiment plan (285 generations) against the
 /// calibrated induction surrogate.
 pub fn paper_records(bundle: &DatasetBundle) -> Vec<PredictionRecord> {
     run_plan(bundle, &ExperimentPlan::paper(), InductionLm::paper)
+}
+
+/// [`paper_records`] with an optional write-ahead journal (see
+/// [`run_plan_at`]): pass the path from [`journal_flag`] to make the
+/// 285-generation grid resumable after a kill.
+pub fn paper_records_at(
+    bundle: &DatasetBundle,
+    journal: Option<&Path>,
+) -> Vec<PredictionRecord> {
+    run_plan_at(bundle, &ExperimentPlan::paper(), journal)
+}
+
+/// Run `plan`, optionally journaling each completed cell at `journal`.
+///
+/// With a journal, previously committed cells are answered from disk and
+/// only the remainder is generated; the returned records are byte-identical
+/// to an uninterrupted run. `LMPEEL_CRASH_AFTER=<k>` (see
+/// [`crash_from_env`]) arms the deterministic kill hook for the CI
+/// crash-and-resume smoke test.
+pub fn run_plan_at(
+    bundle: &DatasetBundle,
+    plan: &ExperimentPlan,
+    journal: Option<&Path>,
+) -> Vec<PredictionRecord> {
+    let Some(path) = journal else {
+        return run_plan(bundle, plan, InductionLm::paper);
+    };
+    let result = match crash_from_env() {
+        Some(crash) => run_plan_journaled_with_crash(
+            bundle,
+            plan,
+            InductionLm::paper,
+            path,
+            "induction",
+            crash,
+        ),
+        None => run_plan_journaled(bundle, plan, InductionLm::paper, path, "induction"),
+    };
+    let (records, recovery) = match result {
+        Ok(x) => x,
+        Err(e) => refuse_journal(path, &e),
+    };
+    report_recovery(path, &recovery);
+    records
+}
+
+/// A journal the run cannot use (wrong plan fingerprint, I/O failure) is a
+/// refusal, not a crash: report it and exit nonzero.
+fn refuse_journal(path: &Path, e: &lmpeel_recover::JournalError) -> ! {
+    eprintln!("cannot use journal {}: {e}", path.display());
+    std::process::exit(2);
+}
+
+/// Note on stderr what a journal salvaged, so resumed runs are auditable.
+fn report_recovery(path: &Path, recovery: &Recovery) {
+    if recovery.reset {
+        eprintln!(
+            "journal {}: unreadable header, restarted empty",
+            path.display()
+        );
+    } else if recovery.records > 0 {
+        eprintln!(
+            "journal {}: resumed {} committed cells ({} torn bytes dropped)",
+            path.display(),
+            recovery.records,
+            recovery.dropped_bytes
+        );
+    }
 }
 
 /// Train/test protocol of Table I: 80/20 split (seed 42), the first
@@ -72,4 +147,169 @@ pub fn arg_flag(name: &str, default: usize) -> usize {
         .and_then(|i| args.get(i + 1))
         .and_then(|v| v.parse().ok())
         .unwrap_or(default)
+}
+
+/// The write-ahead journal path, if the caller asked for a resumable run:
+/// `--journal <path>` to start (or continue) journaling, `--resume <path>`
+/// as the intention-revealing synonym for picking up a killed run.
+pub fn journal_flag() -> Option<PathBuf> {
+    let args: Vec<String> = std::env::args().collect();
+    ["--journal", "--resume"].iter().find_map(|name| {
+        args.iter()
+            .position(|a| a == name)
+            .and_then(|i| args.get(i + 1))
+            .map(PathBuf::from)
+    })
+}
+
+/// `--force`: allow a resumed run to replace a golden artifact that
+/// differs from what it regenerated.
+pub fn force_flag() -> bool {
+    std::env::args().any(|a| a == "--force")
+}
+
+/// The CI crash smoke's kill switch: `LMPEEL_CRASH_AFTER=<k>` lets `k`
+/// more commits land durably, then exits the process (code 17) at the
+/// next commit boundary — before anything of that record hits the disk.
+pub fn crash_from_env() -> Option<CrashAfter> {
+    let commits: u32 = std::env::var("LMPEEL_CRASH_AFTER").ok()?.parse().ok()?;
+    Some(CrashAfter {
+        commits,
+        mode: CrashMode::Exit(17),
+    })
+}
+
+/// Durably publish a golden artifact (temp file + fsync + rename — a
+/// reader never observes a half-written golden).
+///
+/// On a *resumed* run (a `--journal`/`--resume` flag is present) an
+/// existing golden with different bytes is treated as the contract of the
+/// original run: it is left untouched and reported unless `--force` is
+/// passed. Returns whether `path` now holds `bytes`.
+pub fn write_golden(path: &Path, bytes: &[u8]) -> bool {
+    if journal_flag().is_some() && !force_flag() {
+        if let Ok(existing) = std::fs::read(path) {
+            if existing != bytes {
+                eprintln!(
+                    "refusing to overwrite {}: the existing golden differs from this \
+                     resumed run (pass --force to replace it)",
+                    path.display()
+                );
+                return false;
+            }
+        }
+    }
+    atomic_write(path, bytes).expect("write golden artifact");
+    true
+}
+
+/// One journaled boosted-tree fit: the held-out predictions and truths
+/// that [`table1_fit`] produced for a `(train budget, size)` cell. The
+/// search itself is deterministic, so replaying these is byte-identical
+/// to refitting.
+#[derive(Clone)]
+pub struct FitRecord {
+    /// Training budget of the fit.
+    pub n_train: u64,
+    /// [`size_ordinal`] of the dataset's array size.
+    pub size_ord: u8,
+    /// Held-out test predictions of the searched winner.
+    pub pred: Vec<f64>,
+    /// Held-out ground truths, aligned with `pred`.
+    pub truth: Vec<f64>,
+}
+
+impl JournalRecord for FitRecord {
+    type Key = (u64, u8);
+
+    fn key(&self) -> (u64, u8) {
+        (self.n_train, self.size_ord)
+    }
+
+    fn encode(&self, buf: &mut Vec<u8>) {
+        wire::put_u64(buf, self.n_train);
+        wire::put_u8(buf, self.size_ord);
+        wire::put_usize(buf, self.pred.len());
+        for &p in &self.pred {
+            wire::put_f64(buf, p);
+        }
+        wire::put_usize(buf, self.truth.len());
+        for &t in &self.truth {
+            wire::put_f64(buf, t);
+        }
+    }
+
+    fn decode(bytes: &[u8]) -> Option<Self> {
+        let mut r = Reader::new(bytes);
+        let n_train = r.u64()?;
+        let size_ord = r.u8()?;
+        let n_pred = r.usize()?;
+        let mut pred = Vec::with_capacity(n_pred.min(1 << 16));
+        for _ in 0..n_pred {
+            pred.push(r.f64()?);
+        }
+        let n_truth = r.usize()?;
+        let mut truth = Vec::with_capacity(n_truth.min(1 << 16));
+        for _ in 0..n_truth {
+            truth.push(r.f64()?);
+        }
+        r.is_done().then_some(FitRecord {
+            n_train,
+            size_ord,
+            pred,
+            truth,
+        })
+    }
+}
+
+/// Fingerprint binding a fit journal to the hyperparameter-search budget:
+/// fits from different `--iters` runs must never mix in one journal.
+pub fn fit_fingerprint(search_iters: usize) -> u64 {
+    let mut buf = Vec::new();
+    wire::put_str(&mut buf, "lmpeel-gbdt-fit");
+    wire::put_u32(&mut buf, 1);
+    wire::put_usize(&mut buf, search_iters);
+    fnv1a64(&buf)
+}
+
+/// Open (or create) the fit journal named by [`journal_flag`], arming the
+/// env kill hook. `None` when the caller did not ask for a resumable run.
+pub fn open_fit_journal(search_iters: usize) -> Option<RunJournal<FitRecord>> {
+    let path = journal_flag()?;
+    let (mut journal, recovery) = match RunJournal::open(&path, fit_fingerprint(search_iters)) {
+        Ok(x) => x,
+        Err(e) => refuse_journal(&path, &e),
+    };
+    report_recovery(&path, &recovery);
+    if let Some(crash) = crash_from_env() {
+        journal.crash_after(crash);
+    }
+    Some(journal)
+}
+
+/// [`table1_fit`] answered from — and committed to — an optional fit
+/// journal, keyed by `(n_train, size)`. Returns `(test predictions, test
+/// truths)`.
+pub fn table1_fit_at(
+    dataset: &PerfDataset,
+    size: ArraySize,
+    n_train: usize,
+    search_iters: usize,
+    journal: Option<&mut RunJournal<FitRecord>>,
+) -> (Vec<f64>, Vec<f64>) {
+    let key = (n_train as u64, size_ordinal(size));
+    if let Some(rec) = journal.as_ref().and_then(|j| j.get(&key)) {
+        return (rec.pred.clone(), rec.truth.clone());
+    }
+    let (_result, pred, truth) = table1_fit(dataset, n_train, search_iters);
+    if let Some(j) = journal {
+        j.commit(&FitRecord {
+            n_train: key.0,
+            size_ord: key.1,
+            pred: pred.clone(),
+            truth: truth.clone(),
+        })
+        .expect("commit fit record");
+    }
+    (pred, truth)
 }

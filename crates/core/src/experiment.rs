@@ -15,6 +15,7 @@ use crate::prompt::PromptBuilder;
 use lmpeel_configspace::ArraySize;
 use lmpeel_lm::{generate, GenerateSpec, GenerationTrace, LanguageModel, Sampler};
 use lmpeel_perfdata::{curated_icl_replicas, icl_replicas, DatasetBundle, IclSet};
+use lmpeel_recover::{JournalError, RunJournal};
 use lmpeel_serve::{GenerateRequest, InferenceService, RequestError};
 use lmpeel_stats::{RegressionReport, Summary, Welford};
 use lmpeel_tokenizer::EOS;
@@ -42,6 +43,11 @@ pub struct ExperimentPlan {
     pub max_tokens: usize,
     /// Trace recording threshold (the "nonzero logit" cutoff).
     pub trace_min_prob: f32,
+    /// Also stop at the first newline (the Figure 3/4 single-line value
+    /// setting). The paper grid keeps this off: a drifted generation that
+    /// restarts the example scaffold crosses line breaks before reaching
+    /// its value.
+    pub stop_at_newline: bool,
 }
 
 impl ExperimentPlan {
@@ -65,6 +71,7 @@ impl ExperimentPlan {
             // example scaffold to still reach its Performance value.
             max_tokens: 96,
             trace_min_prob: 1e-3,
+            stop_at_newline: false,
         }
     }
 
@@ -80,6 +87,7 @@ impl ExperimentPlan {
             selection_seed: 1,
             max_tokens: 16,
             trace_min_prob: 1e-3,
+            stop_at_newline: false,
         }
     }
 
@@ -165,10 +173,16 @@ where
     M: LanguageModel,
     F: Fn(u64) -> M + Sync,
 {
-    if plan.seeds.is_empty() {
-        return Vec::new();
-    }
-    // Materialize all (key, replica, icl_set) tuples first.
+    run_plan_inner(bundle, plan, model_factory, None)
+        .expect("a journal-free run has no journal to fail")
+}
+
+/// Materialize a plan's (key, replica, icl_set) tuples in grid order:
+/// random settings first, then curated, replicas within a setting.
+pub(crate) fn materialize_tasks(
+    bundle: &DatasetBundle,
+    plan: &ExperimentPlan,
+) -> Vec<(SettingKey, usize, IclSet)> {
     let mut tasks: Vec<(SettingKey, usize, IclSet)> = Vec::new();
     for &size in &plan.sizes {
         let ds = bundle.for_size(size);
@@ -204,45 +218,125 @@ where
             }
         }
     }
+    tasks
+}
+
+/// What one grid cell still needs: nothing (journaled on a prior run) or a
+/// submitted in-flight request.
+enum CellWork {
+    Cached(PredictionRecord),
+    Pending {
+        ids: Vec<lmpeel_tokenizer::TokenId>,
+        spec: GenerateSpec,
+        handle: lmpeel_serve::ResponseHandle,
+    },
+}
+
+/// The shared engine behind [`run_plan`] and the journaled entry points in
+/// [`crate::journal`]. With a journal, cells whose key is already committed
+/// are answered from it (no generation, no submission) and each freshly
+/// completed cell is durably committed before the next is awaited — so a
+/// crash between commits loses at most the cell in flight, and the returned
+/// records are byte-identical whether the grid ran once or across N
+/// resumes (the service's traces are interleaving-independent; see
+/// `forked_seed_generations_match_fresh_per_seed_models`).
+pub(crate) fn run_plan_inner<M, F>(
+    bundle: &DatasetBundle,
+    plan: &ExperimentPlan,
+    model_factory: F,
+    mut journal: Option<&mut RunJournal<PredictionRecord>>,
+) -> Result<Vec<PredictionRecord>, JournalError>
+where
+    M: LanguageModel,
+    F: Fn(u64) -> M + Sync,
+{
+    if plan.seeds.is_empty() {
+        return Ok(Vec::new());
+    }
+    let tasks = materialize_tasks(bundle, plan);
 
     let base_model = Arc::new(model_factory(plan.seeds[0]));
     let tokenizer = base_model.tokenizer();
-    let service = InferenceService::builder()
-        .model("default", base_model.clone())
-        // Room for the whole grid: submission never blocks, the scheduler
-        // drains at its own pace.
-        .queue_capacity(tasks.len() * plan.seeds.len())
-        .build();
+    let mut stop_tokens = Vec::new();
+    if plan.stop_at_newline {
+        stop_tokens.push(
+            tokenizer
+                .vocab()
+                .token_id("\n")
+                .expect("vocabulary includes a newline token"),
+        );
+    }
+    // EOS last: a drifted generation that restarts the example scaffold
+    // crosses line breaks before it reaches a value, exactly as the
+    // paper's deviant outputs did — only single-line plans stop earlier.
+    stop_tokens.push(tokenizer.special(EOS));
 
-    // Submit everything before waiting on anything so the scheduler can
-    // batch across tasks and seeds.
+    let pending = tasks.len() * plan.seeds.len()
+        - journal.as_deref().map_or(0, |j| {
+            tasks
+                .iter()
+                .flat_map(|(key, replica, _)| {
+                    plan.seeds
+                        .iter()
+                        .map(|&seed| crate::journal::task_key(key, *replica, seed))
+                })
+                .filter(|k| j.contains(k))
+                .count()
+        });
+    // A fully journaled grid needs no service (and an empty queue would be
+    // rejected by the builder).
+    let service = (pending > 0).then(|| {
+        InferenceService::builder()
+            .model("default", base_model.clone())
+            // Room for the remaining grid: submission never blocks, the
+            // scheduler drains at its own pace.
+            .queue_capacity(pending)
+            .build()
+    });
+
+    // Submit every non-journaled cell before waiting on anything so the
+    // scheduler can batch across tasks and seeds.
     let submissions: Vec<_> = tasks
         .iter()
         .flat_map(|(key, replica, set)| {
             let builder = PromptBuilder::new(bundle.for_size(key.size).space().clone(), key.size);
-            let ids = builder.for_icl_set(set).to_tokens(tokenizer);
+            let prompt = builder.for_icl_set(set);
+            let mut ids: Option<Vec<_>> = None;
             plan.seeds
                 .iter()
                 .map(|&seed| {
+                    let task_key = crate::journal::task_key(key, *replica, seed);
+                    if let Some(rec) =
+                        journal.as_deref().and_then(|j| j.get(&task_key)).cloned()
+                    {
+                        return (key, *replica, set, seed, CellWork::Cached(rec));
+                    }
+                    let ids = ids
+                        .get_or_insert_with(|| prompt.to_tokens(tokenizer))
+                        .clone();
                     let spec = GenerateSpec::builder()
                         .sampler(Sampler::paper())
                         .max_tokens(plan.max_tokens)
-                        // EOS only: a drifted generation that restarts the
-                        // example scaffold crosses line breaks before it
-                        // reaches a value, exactly as the paper's deviant
-                        // outputs did.
-                        .stop_tokens(vec![tokenizer.special(EOS)])
+                        .stop_tokens(stop_tokens.clone())
                         .trace_min_prob(plan.trace_min_prob)
                         .seed(seed)
                         .build()
                         .expect("plan yields a valid generation spec");
                     let handle = service
+                        .as_ref()
+                        .expect("a pending cell implies a live service")
                         .submit(
                             GenerateRequest::new("default", ids.clone(), spec.clone())
                                 .with_model_seed(seed),
                         )
                         .expect("service accepts while running");
-                    (key, *replica, set, seed, ids.clone(), spec, handle)
+                    (
+                        key,
+                        *replica,
+                        set,
+                        seed,
+                        CellWork::Pending { ids, spec, handle },
+                    )
                 })
                 .collect::<Vec<_>>()
         })
@@ -250,7 +344,11 @@ where
 
     submissions
         .into_iter()
-        .map(|(key, replica, set, seed, ids, spec, handle)| {
+        .map(|(key, replica, set, seed, work)| {
+            let (ids, spec, handle) = match work {
+                CellWork::Cached(rec) => return Ok(rec),
+                CellWork::Pending { ids, spec, handle } => (ids, spec, handle),
+            };
             let trace = match handle.wait() {
                 Ok(response) => response.trace,
                 Err(RequestError::RekeyUnsupported(_)) => {
@@ -265,7 +363,7 @@ where
             let extracted = extract_value(&response);
             let icl_values: Vec<f64> = set.examples.iter().map(|&(_, r)| r).collect();
             let predicted = extracted.map(|(v, _)| v);
-            PredictionRecord {
+            let record = PredictionRecord {
                 key: *key,
                 replica,
                 seed,
@@ -279,7 +377,13 @@ where
                 value_span: value_span(&trace, tokenizer),
                 response,
                 trace,
+            };
+            if let Some(j) = journal.as_deref_mut() {
+                // Durable before the next cell is awaited: this is the
+                // commit boundary the kill-and-resume suites exercise.
+                j.commit(&record)?;
             }
+            Ok(record)
         })
         .collect()
 }

@@ -31,6 +31,7 @@ pub mod decoding;
 pub mod experiment;
 pub mod extract;
 pub mod hybrid;
+pub mod journal;
 pub mod llambo;
 pub mod needles;
 pub mod prompt;
@@ -39,5 +40,6 @@ pub mod tokenstats;
 pub use decoding::{value_distribution, value_span, ValueDistribution};
 pub use experiment::{ExperimentPlan, OverallReport, PredictionRecord, SettingKey, SettingReport};
 pub use extract::{extract_value, Extraction};
+pub use journal::{plan_fingerprint, run_plan_journaled};
 pub use prompt::{Prompt, PromptBuilder};
 pub use tokenstats::{TokenPositionStats, TokenStatsTable};

@@ -294,6 +294,7 @@ pub struct GenerationStepper {
     steps: Vec<GenStep>,
     stopped_naturally: bool,
     finished: bool,
+    errored: bool,
 }
 
 impl GenerationStepper {
@@ -312,6 +313,7 @@ impl GenerationStepper {
             steps: Vec::new(),
             stopped_naturally: false,
             finished: false,
+            errored: false,
         })
     }
 
@@ -337,8 +339,31 @@ impl GenerationStepper {
             }
             Err(e) => {
                 self.finished = true;
+                self.errored = true;
                 Err(e)
             }
+        }
+    }
+
+    /// Re-arm a stepper frozen by a decode error so the next [`step`] call
+    /// retries the failed token. Returns `true` iff the stepper was in the
+    /// errored state (freshly constructed, finished, or aborted steppers
+    /// are untouched and return `false`).
+    ///
+    /// The retried step is deterministic: `decode_step` reports an error
+    /// *before* consuming RNG state or appending to the session, so a
+    /// retry that succeeds produces the exact trace an error-free run
+    /// would have — the basis of the serve layer's transient-error retry
+    /// budget.
+    ///
+    /// [`step`]: GenerationStepper::step
+    pub fn retry(&mut self) -> bool {
+        if self.errored {
+            self.errored = false;
+            self.finished = false;
+            true
+        } else {
+            false
         }
     }
 
@@ -916,6 +941,99 @@ mod tests {
         let trace = stepper.into_trace();
         assert_eq!(trace.decode(&m.tokenizer), "b", "partial trace survives");
         assert!(!trace.stopped_naturally);
+    }
+
+    #[test]
+    fn retry_after_transient_error_reproduces_the_healthy_trace() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+
+        // All-(-inf) logits on exactly the `fail_at`-th logits call, the
+        // cycle distribution otherwise: one transient EmptyVocab.
+        struct Flaky {
+            tokenizer: Tokenizer,
+            cycle: Vec<TokenId>,
+            calls: AtomicUsize,
+            fail_at: usize,
+        }
+        impl LanguageModel for Flaky {
+            fn tokenizer(&self) -> &Tokenizer {
+                &self.tokenizer
+            }
+            fn logits(&self, context: &[TokenId]) -> Vec<f32> {
+                let call = self.calls.fetch_add(1, Ordering::SeqCst);
+                let mut logits = vec![f32::NEG_INFINITY; self.tokenizer.vocab().len()];
+                if call != self.fail_at {
+                    let next = match context.last() {
+                        Some(last) => {
+                            let pos = self.cycle.iter().position(|t| t == last).unwrap_or(0);
+                            self.cycle[(pos + 1) % self.cycle.len()]
+                        }
+                        None => self.cycle[0],
+                    };
+                    logits[next as usize] = 1.0;
+                }
+                logits
+            }
+            fn name(&self) -> String {
+                "flaky-test-lm".into()
+            }
+        }
+
+        let t = Tokenizer::paper();
+        let cycle = vec![t.encode("a")[0], t.encode("b")[0], t.encode("c")[0]];
+        let prompt = t.encode("a");
+        let spec = GenerateSpec {
+            sampler: Sampler::greedy(),
+            max_tokens: 5,
+            stop_tokens: vec![],
+            trace_min_prob: 0.0,
+            seed: 0,
+        };
+        let healthy = Arc::new(Flaky {
+            tokenizer: t.clone(),
+            cycle: cycle.clone(),
+            calls: AtomicUsize::new(0),
+            fail_at: usize::MAX,
+        });
+        let want = generate(&healthy, &prompt, &spec).unwrap();
+
+        let flaky = Arc::new(Flaky {
+            tokenizer: t,
+            cycle,
+            calls: AtomicUsize::new(0),
+            // Fail the third logits call (mid-generation).
+            fail_at: 2,
+        });
+        let mut s = flaky.clone().session();
+        s.extend(&prompt);
+        let mut stepper = GenerationStepper::new(s, spec.clone()).unwrap();
+        let mut errors = 0;
+        loop {
+            match stepper.step() {
+                Ok(true) => {}
+                Ok(false) => break,
+                Err(LmError::EmptyVocab) => {
+                    errors += 1;
+                    assert!(stepper.is_finished(), "errors freeze the stepper");
+                    assert!(stepper.retry(), "an errored stepper re-arms");
+                }
+                Err(e) => panic!("unexpected error {e}"),
+            }
+        }
+        assert_eq!(errors, 1);
+        assert_eq!(
+            stepper.into_trace(),
+            want,
+            "a retried run is byte-identical to an error-free one"
+        );
+
+        // retry() is a no-op on steppers that did not error.
+        let mut s = cycle_model().session();
+        s.extend(&prompt);
+        let mut fresh = GenerationStepper::new(s, spec).unwrap();
+        assert!(!fresh.retry(), "fresh steppers are not retryable");
+        fresh.abort();
+        assert!(!fresh.retry(), "aborted steppers are not retryable");
     }
 
     #[test]

@@ -714,6 +714,130 @@ mod tests {
     }
 
     #[test]
+    fn breaker_recovers_through_a_successful_half_open_probe() {
+        use faults::{Fault, FaultyLm};
+        faults::silence_injected_panics();
+        let inner = Arc::new(InductionLm::paper(0));
+        // Panics on the first decode step, but only twice: exactly enough
+        // to trip the breaker, after which the substrate is healthy again.
+        let faulty = Arc::new(FaultyLm::new(inner.clone(), Fault::PanicOnStep(1)).with_fault_budget(2));
+        let prompt = icl_prompt(&inner, &["0.0022155"]);
+        let service = InferenceService::builder()
+            .model("faulty", faulty)
+            .quarantine_after(2)
+            .breaker_cooldown(2)
+            .build();
+        // Two panics trip the breaker (round clock: admit, step, admit,
+        // step -> trip at round 4 with until = 4 + 2).
+        for _ in 0..2 {
+            let err = service
+                .generate(GenerateRequest::new("faulty", prompt.clone(), spec(0)))
+                .unwrap_err();
+            assert!(matches!(err, RequestError::Panicked(_)), "got {err:?}");
+        }
+        // Open: the next request (admitted at round 5 < 6) is rejected
+        // without touching the substrate.
+        let err = service
+            .generate(GenerateRequest::new("faulty", prompt.clone(), spec(0)))
+            .unwrap_err();
+        assert_eq!(err, RequestError::SubstrateQuarantined("faulty".into()));
+        // The rejection itself ticked the clock past the cooldown: the next
+        // request is the half-open probe. The fault budget is spent, so it
+        // succeeds and closes the breaker.
+        let probed = service
+            .generate(GenerateRequest::new("faulty", prompt.clone(), spec(0)))
+            .expect("the half-open probe rides a now-healthy substrate");
+        assert!(!probed.trace.steps.is_empty());
+        // Closed again: normal service resumed.
+        assert!(service
+            .generate(GenerateRequest::new("faulty", prompt, spec(1)))
+            .is_ok());
+        let stats = service.stats();
+        assert_eq!(stats.panicked, 2);
+        assert_eq!(stats.quarantined, 1);
+        assert_eq!(stats.breaker_recovered, 1);
+        assert_eq!(stats.breaker_reopened, 0);
+        assert_eq!(stats.completed, 2);
+    }
+
+    #[test]
+    fn failed_probes_back_off_exponentially() {
+        use faults::{Fault, FaultyLm};
+        faults::silence_injected_panics();
+        let inner = Arc::new(InductionLm::paper(0));
+        // Every decode step panics, forever: each half-open probe fails and
+        // doubles the cooldown.
+        let faulty = Arc::new(FaultyLm::new(inner.clone(), Fault::PanicOnStep(1)));
+        let prompt = icl_prompt(&inner, &["0.0022155"]);
+        let service = InferenceService::builder()
+            .model("faulty", faulty)
+            .quarantine_after(1)
+            .breaker_cooldown(1)
+            .build();
+        // Sequential requests tick the logical clock deterministically
+        // (one tick per rejection, two per admitted-then-panicked probe).
+        // Record which request indices actually reached the substrate.
+        let mut panicked_at = Vec::new();
+        for i in 0..80 {
+            let err = service
+                .generate(GenerateRequest::new("faulty", prompt.clone(), spec(0)))
+                .unwrap_err();
+            match err {
+                RequestError::Panicked(_) => panicked_at.push(i as i64),
+                RequestError::SubstrateQuarantined(_) => {}
+                other => panic!("unexpected terminal error {other:?}"),
+            }
+        }
+        assert!(
+            panicked_at.len() >= 5,
+            "80 requests admit at least 5 probes, got {panicked_at:?}"
+        );
+        // The quiet gap between consecutive admitted probes grows strictly:
+        // cooldown doubles on every failed probe and jitter is bounded by a
+        // quarter of it, so no later gap can shrink back.
+        let gaps: Vec<i64> = panicked_at.windows(2).map(|w| w[1] - w[0]).collect();
+        for pair in gaps.windows(2) {
+            assert!(
+                pair[1] > pair[0],
+                "backoff gaps must grow, got {gaps:?} from probes at {panicked_at:?}"
+            );
+        }
+        let stats = service.stats();
+        assert_eq!(stats.breaker_recovered, 0);
+        assert_eq!(
+            stats.breaker_reopened,
+            panicked_at.len() as u64 - 1,
+            "every panic after the first trip is a failed half-open probe"
+        );
+    }
+
+    #[test]
+    fn retry_budget_absorbs_a_transient_decode_error_byte_identically() {
+        use faults::{Fault, FaultyLm};
+        let inner = Arc::new(InductionLm::paper(0));
+        // One all:-inf logit vector on the second decode step, then healthy.
+        let flaky =
+            Arc::new(FaultyLm::new(inner.clone(), Fault::EmptyLogitsOnStep(2)).with_fault_budget(1));
+        let prompt = icl_prompt(&inner, &["0.0022155"]);
+        let service = InferenceService::builder()
+            .model("flaky", flaky)
+            .retry_budget(1)
+            .build();
+        let got = service
+            .generate(GenerateRequest::new("flaky", prompt.clone(), spec(0)))
+            .expect("one retry absorbs the one injected error");
+        // The failed step consumed no RNG state and appended nothing, so
+        // the retried trace is byte-identical to an error-free run.
+        let expected = generate(&inner, &prompt, &spec(0)).unwrap();
+        assert_eq!(got.trace, expected);
+        let stats = service.stats();
+        assert_eq!(stats.retried, 1);
+        assert_eq!(stats.completed, 1);
+        assert_eq!(stats.failed, 0);
+        assert_eq!(stats.panicked, 0);
+    }
+
+    #[test]
     fn concurrent_batched_requests_all_match_sequential() {
         // Submit a pile of requests before waiting on any handle, so the
         // scheduler genuinely interleaves them in one batch.

@@ -21,17 +21,24 @@
 //! prefilling from scratch (PR 1's fork/extend equivalence suites), which
 //! the determinism proptests in `tests/` re-verify end to end.
 //!
-//! # Fault containment
+//! # Fault containment and self-healing
 //!
 //! The scheduler fails requests, never itself. All per-request substrate
 //! work — prefill/re-key at admission, each decode step — runs under
 //! [`catch_unwind`], so a panicking session retires *that* request with
 //! [`RequestError::Panicked`] while every other in-flight generation keeps
 //! stepping. A substrate that panics on `quarantine_after` consecutive
-//! requests (no successful completion in between) is quarantined: later
-//! requests naming it are rejected with
-//! [`RequestError::SubstrateQuarantined`] instead of feeding a broken
-//! model forever. Cancellation ([`crate::ResponseHandle::cancel`] or a
+//! requests (no successful completion in between) trips a per-substrate
+//! **circuit breaker**: the breaker opens and requests naming the
+//! substrate are rejected with [`RequestError::SubstrateQuarantined`] for
+//! a cooldown measured on the scheduler's logical round clock (no wall
+//! time). When the cooldown expires the breaker goes half-open and admits
+//! exactly one trial request: success closes the breaker (normal service
+//! resumes), another panic re-opens it with an exponentially longer,
+//! deterministically jittered cooldown. Transient decode errors can also
+//! be absorbed before they surface: each request carries a `retry_budget`
+//! of in-place step retries (deterministic — a failed step consumes no
+//! RNG state). Cancellation ([`crate::ResponseHandle::cancel`] or a
 //! dropped handle) and [`crate::Deadline`]s are checked once per
 //! scheduling round, retiring the request and freeing its batch slot
 //! without disturbing its neighbours.
@@ -40,7 +47,7 @@ use crate::request::{Deadline, GenerateRequest, GenerateResponse, RequestError};
 use crate::service::ServeStats;
 use crate::trie::{PrefixTrie, TrieStats};
 use lmpeel_lm::{GenerationStepper, LanguageModel};
-use std::collections::{HashMap, HashSet};
+use std::collections::HashMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::{Receiver, Sender, TryRecvError};
@@ -65,8 +72,85 @@ pub(crate) struct SchedulerConfig {
     pub max_batch: usize,
     /// Snapshot capacity of each substrate's prefix trie.
     pub trie_capacity: usize,
-    /// Consecutive per-substrate panics before quarantine.
+    /// Consecutive per-substrate panics that trip the circuit breaker.
     pub quarantine_after: u32,
+    /// Base breaker cooldown in logical scheduler rounds; doubles on every
+    /// failed half-open probe (capped at [`MAX_COOLDOWN`]).
+    pub breaker_cooldown: u64,
+    /// In-place decode-step retries granted to each request before a
+    /// transient `LmError` becomes its terminal error.
+    pub retry_budget: u32,
+}
+
+/// Cap on the exponential cooldown so a long-dead substrate still gets a
+/// probe eventually instead of overflowing into never.
+const MAX_COOLDOWN: u64 = 1 << 16;
+
+/// FNV-1a 64-bit hash — duplicated privately from `lmpeel-recover` (the
+/// serve crate deliberately depends only on `lmpeel-lm`). Stable across
+/// processes, unlike the std hasher's per-process random keys, so breaker
+/// schedules are reproducible run to run.
+fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// SplitMix64 bit mixer (same provenance as [`fnv1a64`]).
+fn splitmix64(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Deterministic jitter added to a reopen deadline so substrates sharing a
+/// trip round don't probe in lockstep: seeded by the substrate name and
+/// the reopen count, bounded by a quarter of the current cooldown (zero
+/// for cooldowns below four rounds, keeping short-cooldown schedules
+/// exact). No wall clock, no OS entropy.
+fn reopen_jitter(substrate: &str, reopens: u64, cooldown: u64) -> u64 {
+    splitmix64(fnv1a64(substrate.as_bytes()) ^ reopens) % (cooldown / 4 + 1)
+}
+
+/// Circuit-breaker state for one substrate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum BreakerState {
+    /// Healthy: requests flow, consecutive panics are counted.
+    Closed,
+    /// Tripped: requests are rejected until the logical round `until`.
+    Open {
+        /// First round at which a half-open probe may be admitted.
+        until: u64,
+    },
+    /// One trial request is in flight; everything else is rejected until
+    /// it settles.
+    HalfOpen,
+}
+
+/// Per-substrate breaker: trip threshold streak, current cooldown, and
+/// how many failed probes have grown it.
+struct Breaker {
+    state: BreakerState,
+    /// Consecutive panics while closed (reset by any success).
+    streak: u32,
+    /// Current reopen cooldown in logical rounds.
+    cooldown: u64,
+    /// Failed half-open probes since the last recovery (jitter input and
+    /// backoff exponent witness).
+    reopens: u64,
+}
+
+/// What the breaker says about admitting a request.
+enum BreakerDecision {
+    /// Admit; `probe == true` marks the single half-open trial request
+    /// whose outcome decides the breaker's next state.
+    Admit { probe: bool },
+    /// Breaker open (or a probe already in flight): reject.
+    Reject,
 }
 
 /// Stringify a panic payload (the `Box<dyn Any>` from `catch_unwind` or
@@ -94,6 +178,13 @@ struct Inflight {
     reused_tokens: usize,
     prefilled_tokens: usize,
     error: Option<RequestError>,
+    /// True for the half-open trial request: its outcome routes back into
+    /// the substrate's breaker.
+    probe: bool,
+    /// In-place step retries still available for transient decode errors.
+    retries_left: u32,
+    /// Retries actually consumed (flows into [`ServeStats::retried`]).
+    retries_used: u64,
 }
 
 impl Inflight {
@@ -117,7 +208,18 @@ impl Inflight {
         self.steps_taken += 1;
         match catch_unwind(AssertUnwindSafe(|| self.stepper.step())) {
             Ok(Ok(_)) => {}
-            Ok(Err(e)) => self.error = Some(RequestError::Lm(e)),
+            Ok(Err(e)) => {
+                // A transient decode error: retry in place while budget
+                // remains. The failed step consumed no RNG state, so the
+                // retried token is exactly what an error-free run would
+                // have sampled.
+                if self.retries_left > 0 && self.stepper.retry() {
+                    self.retries_left -= 1;
+                    self.retries_used += 1;
+                } else {
+                    self.error = Some(RequestError::Lm(e));
+                }
+            }
             Err(payload) => {
                 self.error = Some(RequestError::Panicked(panic_message(payload.as_ref())));
             }
@@ -170,10 +272,13 @@ pub(crate) struct Scheduler {
     /// Set by `InferenceService::shutdown`: stop admitting, finish
     /// in-flight work, reject whatever is still queued with `ShutDown`.
     draining: Arc<AtomicBool>,
-    /// Per-substrate consecutive-panic streaks (reset by a successful
-    /// completion on that substrate).
-    panic_streaks: HashMap<String, u32>,
-    quarantined: HashSet<String>,
+    /// Per-substrate circuit breakers (created lazily on first panic).
+    breakers: HashMap<String, Breaker>,
+    /// Logical round clock driving breaker cooldowns: ticks at the top of
+    /// every decode round *and* every admission, so a substrate whose
+    /// traffic only ever panics at admission (empty in-flight set, no
+    /// decode rounds) still sees its cooldown expire.
+    round: u64,
     /// True when a trie counter changed since the last publish, so the
     /// summed `prefix` stats block is rebuilt at most once per round and
     /// only when it could differ.
@@ -200,8 +305,8 @@ impl Scheduler {
             inflight: Vec::new(),
             stats,
             draining,
-            panic_streaks: HashMap::new(),
-            quarantined: HashSet::new(),
+            breakers: HashMap::new(),
+            round: 0,
             trie_dirty: false,
         }
     }
@@ -247,41 +352,124 @@ impl Scheduler {
     /// Advance every in-flight generation one token, then retire the
     /// finished ones immediately.
     fn step_round(&mut self) {
+        self.round += 1;
         for w in &mut self.inflight {
             w.step();
         }
         let finished: Vec<Inflight> = self.inflight.extract_if(.., |w| w.done()).collect();
         for w in finished {
             match &w.error {
-                Some(RequestError::Panicked(_)) => self.note_panic(&w.substrate),
-                None => self.note_success(&w.substrate),
+                Some(RequestError::Panicked(_)) => self.note_panic(&w.substrate, w.probe),
+                None => self.note_success(&w.substrate, w.probe),
+                // A probe that neither completed nor panicked (cancelled,
+                // deadline, decode error) proved nothing about the
+                // substrate; re-probe promptly rather than closing or
+                // backing off.
+                Some(_) if w.probe => self.note_probe_inconclusive(&w.substrate),
                 Some(_) => {}
             }
+            let retried = w.retries_used;
             let (responder, result) = w.finish();
             // Settle the counters *before* the response lands: a caller
             // reading stats() right after wait() must see this request.
-            crate::sync::lock_unpoisoned(&self.stats).count_terminal(&result);
+            {
+                let mut stats = crate::sync::lock_unpoisoned(&self.stats);
+                stats.retried += retried;
+                stats.count_terminal(&result);
+            }
             // A dropped handle just means the caller stopped caring.
             let _ = responder.send(result);
         }
     }
 
-    /// Lengthen the substrate's consecutive-panic streak, quarantining it
-    /// at the configured threshold.
-    fn note_panic(&mut self, substrate: &str) {
-        let streak = self.panic_streaks.entry(substrate.to_string()).or_insert(0);
-        *streak += 1;
-        if *streak >= self.cfg.quarantine_after {
-            self.quarantined.insert(substrate.to_string());
+    /// Route a panic into the substrate's breaker. While closed, it
+    /// lengthens the consecutive streak and trips the breaker open at the
+    /// configured threshold; a failed half-open probe re-opens with the
+    /// cooldown doubled (`until = round + cooldown·2^reopens + jitter`).
+    /// Straggler panics from requests admitted before a trip change
+    /// nothing — the breaker already acted.
+    fn note_panic(&mut self, substrate: &str, probe: bool) {
+        let round = self.round;
+        let base = self.cfg.breaker_cooldown;
+        let b = self
+            .breakers
+            .entry(substrate.to_string())
+            .or_insert(Breaker {
+                state: BreakerState::Closed,
+                streak: 0,
+                cooldown: base,
+                reopens: 0,
+            });
+        if probe {
+            b.cooldown = b.cooldown.saturating_mul(2).min(MAX_COOLDOWN);
+            b.reopens += 1;
+            b.state = BreakerState::Open {
+                until: round + b.cooldown + reopen_jitter(substrate, b.reopens, b.cooldown),
+            };
+            crate::sync::lock_unpoisoned(&self.stats).breaker_reopened += 1;
+            return;
+        }
+        if b.state != BreakerState::Closed {
+            return;
+        }
+        b.streak += 1;
+        if b.streak >= self.cfg.quarantine_after {
+            b.streak = 0;
+            b.state = BreakerState::Open {
+                until: round + b.cooldown + reopen_jitter(substrate, b.reopens, b.cooldown),
+            };
         }
     }
 
     /// A successful completion proves the substrate can still serve: the
-    /// panic streak is no longer consecutive, so reset it. Other errors
-    /// (decode failures, cancellations, deadlines) prove nothing either
-    /// way and leave the streak alone.
-    fn note_success(&mut self, substrate: &str) {
-        self.panic_streaks.insert(substrate.to_string(), 0);
+    /// panic streak is no longer consecutive, so reset it. A successful
+    /// half-open *probe* additionally closes the breaker and resets the
+    /// backoff to the base cooldown. Other errors (decode failures,
+    /// cancellations, deadlines) prove nothing either way and leave the
+    /// streak alone.
+    fn note_success(&mut self, substrate: &str, probe: bool) {
+        let base = self.cfg.breaker_cooldown;
+        let Some(b) = self.breakers.get_mut(substrate) else {
+            // Never panicked: no breaker to maintain.
+            return;
+        };
+        b.streak = 0;
+        if probe {
+            b.state = BreakerState::Closed;
+            b.cooldown = base;
+            b.reopens = 0;
+            crate::sync::lock_unpoisoned(&self.stats).breaker_recovered += 1;
+        }
+    }
+
+    /// The half-open trial retired without a verdict: hold the breaker
+    /// open for one more round (no backoff growth) so the very next
+    /// request re-probes.
+    fn note_probe_inconclusive(&mut self, substrate: &str) {
+        let round = self.round;
+        if let Some(b) = self.breakers.get_mut(substrate) {
+            if b.state == BreakerState::HalfOpen {
+                b.state = BreakerState::Open { until: round + 1 };
+            }
+        }
+    }
+
+    /// Consult the substrate's breaker at admission. An open breaker whose
+    /// cooldown has expired flips to half-open here and admits the caller
+    /// as the probe.
+    fn check_breaker(&mut self, substrate: &str) -> BreakerDecision {
+        let Some(b) = self.breakers.get_mut(substrate) else {
+            return BreakerDecision::Admit { probe: false };
+        };
+        match b.state {
+            BreakerState::Closed => BreakerDecision::Admit { probe: false },
+            BreakerState::HalfOpen => BreakerDecision::Reject,
+            BreakerState::Open { until } if self.round < until => BreakerDecision::Reject,
+            BreakerState::Open { .. } => {
+                b.state = BreakerState::HalfOpen;
+                BreakerDecision::Admit { probe: true }
+            }
+        }
     }
 
     fn reject(&mut self, responder: Sender<Result<GenerateResponse, RequestError>>, e: RequestError) {
@@ -295,6 +483,8 @@ impl Scheduler {
     }
 
     fn admit(&mut self, env: Envelope) {
+        // Admissions tick the logical clock too (see `round`'s doc).
+        self.round += 1;
         let Envelope {
             request,
             responder,
@@ -317,10 +507,13 @@ impl Scheduler {
             }
         }
         let substrate = request.substrate.clone();
-        if self.quarantined.contains(&substrate) {
-            self.reject(responder, RequestError::SubstrateQuarantined(substrate));
-            return;
-        }
+        let probe = match self.check_breaker(&substrate) {
+            BreakerDecision::Reject => {
+                self.reject(responder, RequestError::SubstrateQuarantined(substrate));
+                return;
+            }
+            BreakerDecision::Admit { probe } => probe,
+        };
         let Some(model) = self.models.get(&substrate) else {
             self.reject(responder, RequestError::UnknownSubstrate(substrate));
             return;
@@ -359,10 +552,13 @@ impl Scheduler {
         match setup {
             Err(payload) => {
                 let reason = panic_message(payload.as_ref());
-                self.note_panic(&substrate);
+                self.note_panic(&substrate, probe);
                 self.reject(responder, RequestError::Panicked(reason));
             }
             Ok((_, _, _, false)) => {
+                if probe {
+                    self.note_probe_inconclusive(&substrate);
+                }
                 self.reject(responder, RequestError::RekeyUnsupported(substrate));
             }
             Ok((session, reused_tokens, prefilled_tokens, true)) => {
@@ -378,8 +574,16 @@ impl Scheduler {
                         reused_tokens,
                         prefilled_tokens,
                         error: None,
+                        probe,
+                        retries_left: self.cfg.retry_budget,
+                        retries_used: 0,
                     }),
-                    Err(e) => self.reject(responder, RequestError::Lm(e)),
+                    Err(e) => {
+                        if probe {
+                            self.note_probe_inconclusive(&substrate);
+                        }
+                        self.reject(responder, RequestError::Lm(e));
+                    }
                 }
             }
         }

@@ -46,6 +46,16 @@ pub struct ServeStats {
     /// Queued requests rejected with [`RequestError::ShutDown`] during a
     /// graceful [`InferenceService::shutdown`] drain.
     pub drained: u64,
+    /// Transient decode errors absorbed by per-request retry budgets
+    /// (each retry re-samples the failed token in place; it never
+    /// surfaces to the caller).
+    pub retried: u64,
+    /// Half-open breaker probes that panicked, re-opening the substrate's
+    /// breaker with a doubled cooldown.
+    pub breaker_reopened: u64,
+    /// Half-open breaker probes that completed, closing the substrate's
+    /// breaker and restoring normal service.
+    pub breaker_recovered: u64,
     /// Prefix-cache accounting summed over all substrates.
     pub prefix: TrieStats,
 }
@@ -99,6 +109,8 @@ pub struct ServiceBuilder {
     max_batch: usize,
     trie_capacity: usize,
     quarantine_after: u32,
+    breaker_cooldown: u64,
+    retry_budget: u32,
 }
 
 impl Default for ServiceBuilder {
@@ -110,6 +122,8 @@ impl Default for ServiceBuilder {
             max_batch: 16,
             trie_capacity: 32,
             quarantine_after: 3,
+            breaker_cooldown: 8,
+            retry_budget: 0,
         }
     }
 }
@@ -152,13 +166,34 @@ impl ServiceBuilder {
         self
     }
 
-    /// Consecutive panics on one substrate before the scheduler
-    /// quarantines it (minimum 1; default 3). Once quarantined, requests
-    /// naming the substrate fail with
-    /// [`RequestError::SubstrateQuarantined`] instead of feeding a broken
-    /// model.
+    /// Consecutive panics on one substrate before its circuit breaker
+    /// trips open (minimum 1; default 3). While open, requests naming the
+    /// substrate fail with [`RequestError::SubstrateQuarantined`]; after
+    /// the cooldown (see [`ServiceBuilder::breaker_cooldown`]) one probe
+    /// request is admitted — success restores normal service, another
+    /// panic re-opens the breaker with exponential backoff.
     pub fn quarantine_after(mut self, panics: u32) -> Self {
         self.quarantine_after = panics.max(1);
+        self
+    }
+
+    /// Base cooldown of a tripped breaker, in logical scheduler rounds
+    /// (minimum 1; default 8). Each failed half-open probe doubles the
+    /// cooldown; a successful probe resets it to this base. The clock is
+    /// the scheduler's own round counter — no wall time is involved, so
+    /// breaker schedules are deterministic.
+    pub fn breaker_cooldown(mut self, rounds: u64) -> Self {
+        self.breaker_cooldown = rounds.max(1);
+        self
+    }
+
+    /// In-place decode-step retries granted to each request before a
+    /// transient `LmError` becomes its terminal error (default 0: fail
+    /// fast). Retries are deterministic — a failed step consumes no RNG
+    /// state, so a request that recovers produces the exact trace an
+    /// error-free run would have.
+    pub fn retry_budget(mut self, retries: u32) -> Self {
+        self.retry_budget = retries;
         self
     }
 
@@ -174,6 +209,8 @@ impl ServiceBuilder {
                 max_batch: self.max_batch,
                 trie_capacity: self.trie_capacity,
                 quarantine_after: self.quarantine_after,
+                breaker_cooldown: self.breaker_cooldown,
+                retry_budget: self.retry_budget,
             },
             Arc::clone(&stats),
             Arc::clone(&draining),

@@ -155,5 +155,12 @@ proptest! {
         prop_assert_eq!(stats.completed + stats.failed, stats.submitted);
         prop_assert_eq!(stats.failed, faulted_requests);
         prop_assert!(stats.panicked + stats.quarantined <= stats.failed);
+        // Breaker/retry accounting: no retry budget is configured and the
+        // injected faults never stop firing, so nothing is ever absorbed
+        // in place and no half-open probe ever closes the breaker — while
+        // every failed probe is itself a contained panic.
+        prop_assert_eq!(stats.retried, 0);
+        prop_assert_eq!(stats.breaker_recovered, 0);
+        prop_assert!(stats.breaker_reopened <= stats.panicked);
     }
 }
