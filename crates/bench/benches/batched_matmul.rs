@@ -1,0 +1,63 @@
+//! Blocked batched matmul vs a loop of matvecs — the kernel under the
+//! fused decode path.
+//!
+//! The fused scheduler stacks B per-lane output vectors into a `d x B`
+//! block and unembeds them all with one [`Tensor2::matmul_blocked`]
+//! call. This bench isolates that trade against the single-lane
+//! reference (B separate [`Tensor2::matvec`] calls over the same weight
+//! matrix) at the exact serving shape: the signature table is
+//! `vocab x 96`, and B sweeps the in-flight batch widths the service
+//! sees. The win does not come from threads (one matvec is already
+//! parallel over rows): `matvec`'s inner `dot` is a strict sequential
+//! fold — a latency-bound dependency chain the compiler must not
+//! re-associate — while the blocked kernel's innermost loop carries B
+//! independent accumulators (one per output column), which vectorizes.
+//! Per-column results are bitwise identical to `matvec` (pinned in
+//! lmpeel-tensor), so the speedup is free of determinism cost.
+//!
+//! Smoke mode (`LMPEEL_BENCH_SMOKE=1`) shrinks the width ladder.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lmpeel_tensor::Tensor2;
+use std::hint::black_box;
+
+fn smoke() -> bool {
+    std::env::var_os("LMPEEL_BENCH_SMOKE").is_some_and(|v| v != "0")
+}
+
+fn width_ladder() -> &'static [usize] {
+    if smoke() {
+        &[2, 8]
+    } else {
+        &[2, 8, 16, 64]
+    }
+}
+
+fn bench_batched_matmul(c: &mut Criterion) {
+    // The serving shape: a vocab x d_sig signature table (the paper
+    // tokenizer's vocab is ~2k; d_sig = 96) against B stacked queries.
+    let (vocab, d) = (2048, 96);
+    let weights = Tensor2::from_fn(vocab, d, |i, j| ((i * 31 + j * 7) % 17) as f32 / 17.0 - 0.5);
+    let mut g = c.benchmark_group("batched_unembed");
+    g.sample_size(if smoke() { 10 } else { 30 });
+    for &width in width_ladder() {
+        let block = Tensor2::from_fn(d, width, |i, j| ((i * 13 + j * 3) % 19) as f32 / 19.0 - 0.5);
+        let columns: Vec<Vec<f32>> = (0..width)
+            .map(|col| (0..d).map(|r| block.row(r)[col]).collect())
+            .collect();
+        g.bench_with_input(BenchmarkId::new("matvec_loop", width), &(), |b, ()| {
+            b.iter(|| {
+                for x in &columns {
+                    black_box(weights.matvec(black_box(x)));
+                }
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("matmul_blocked", width), &(), |b, ()| {
+            b.iter(|| black_box(weights.matmul_blocked(black_box(&block))))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_batched_matmul);
+criterion_main!(benches);

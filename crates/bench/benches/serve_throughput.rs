@@ -14,6 +14,11 @@
 //! LM (O(prompt) counting pass, decode-dominated) it is a wash, which the
 //! results table reports honestly.
 //!
+//! Three columns per substrate: `sequential` (no service), `service`
+//! (scheduler with batch fusion off — the loop-of-single-steps reference),
+//! and `batched` (fusion on, the default: same-substrate lanes share one
+//! fused forward pass per round). All three produce byte-identical traces.
+//!
 //! Smoke mode for CI: `LMPEEL_BENCH_SMOKE=1` shrinks prompts, sample
 //! counts, and the concurrency ladder so the bench finishes in seconds.
 
@@ -67,12 +72,17 @@ fn run_sequential<M: LanguageModel>(model: &Arc<M>, ids: &[u32], n: usize) {
     }
 }
 
-/// Service path: submit all N, then drain; prefill is shared via the trie.
-fn run_service<M: LanguageModel>(model: &Arc<M>, ids: &[u32], n: usize) {
+/// Service path: submit all N, then drain; prefill is shared via the
+/// trie. `fuse` toggles the scheduler's batched Step phase: `false` is
+/// the loop-of-single-steps reference, `true` fuses same-substrate lanes
+/// into one forward pass per round (byte-identical output either way,
+/// pinned by crates/serve/tests/batched.rs).
+fn run_service<M: LanguageModel>(model: &Arc<M>, ids: &[u32], n: usize, fuse: bool) {
     let service = InferenceService::builder()
         .model("default", model.clone())
         .queue_capacity(n)
         .max_batch(16)
+        .fuse_batches(fuse)
         .build();
     let handles: Vec<_> = (0..n as u64)
         .map(|seed| {
@@ -95,7 +105,10 @@ fn bench_substrate<M: LanguageModel>(c: &mut Criterion, name: &str, model: Arc<M
             b.iter(|| run_sequential(&model, &ids, n))
         });
         g.bench_with_input(BenchmarkId::new("service", n), &n, |b, &n| {
-            b.iter(|| run_service(&model, &ids, n))
+            b.iter(|| run_service(&model, &ids, n, false))
+        });
+        g.bench_with_input(BenchmarkId::new("batched", n), &n, |b, &n| {
+            b.iter(|| run_service(&model, &ids, n, true))
         });
     }
     g.finish();

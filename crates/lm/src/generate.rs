@@ -196,18 +196,34 @@ fn decode_step(
     session: &mut dyn DecodeSession,
     spec: &GenerateSpec,
     rng: &mut ChaCha8Rng,
+    logits_buf: &mut Vec<f32>,
 ) -> Result<Option<GenStep>, LmError> {
-    let logits = session.logits();
+    session.logits_into(logits_buf);
+    decode_step_from(session, logits_buf, spec, rng)
+}
+
+/// The sampling half of [`decode_step`], over logits the caller already
+/// computed (`logits` must be the session's current next-token logits —
+/// the batched decode path computes them for a whole group in one fused
+/// forward pass). Splitting here keeps batched and single-lane decoding
+/// byte-identical by construction: everything that consumes RNG state or
+/// mutates the session lives in this one function.
+fn decode_step_from(
+    session: &mut dyn DecodeSession,
+    logits: &[f32],
+    spec: &GenerateSpec,
+    rng: &mut ChaCha8Rng,
+) -> Result<Option<GenStep>, LmError> {
     let trace_sampler = Sampler {
         temperature: 1.0,
         top_k: 0,
         top_p: 1.0,
     };
-    let dist = trace_sampler.distribution(&logits);
+    let dist = trace_sampler.distribution(logits);
     if dist.is_empty() {
         return Err(LmError::EmptyVocab);
     }
-    let (chosen, chosen_prob) = spec.sampler.sample(&logits, rng);
+    let (chosen, chosen_prob) = spec.sampler.sample(logits, rng);
     if spec.stop_tokens.contains(&chosen) {
         return Ok(None);
     }
@@ -258,9 +274,11 @@ pub fn generate_session(
     let mut rng = seeded_rng(spec.seed, SeedDomain::Sampling(prompt_len as u64));
     let mut steps = Vec::new();
     let mut stopped_naturally = false;
+    // One vocab-wide buffer for the whole generation.
+    let mut logits_buf = Vec::new();
 
     for _ in 0..spec.max_tokens {
-        match decode_step(session, spec, &mut rng)? {
+        match decode_step(session, spec, &mut rng, &mut logits_buf)? {
             Some(step) => steps.push(step),
             None => {
                 stopped_naturally = true;
@@ -295,6 +313,9 @@ pub struct GenerationStepper {
     stopped_naturally: bool,
     finished: bool,
     errored: bool,
+    /// Vocab-wide logits buffer reused across steps (no per-token
+    /// allocation on the single-lane path).
+    logits_buf: Vec<f32>,
 }
 
 impl GenerationStepper {
@@ -314,6 +335,7 @@ impl GenerationStepper {
             stopped_naturally: false,
             finished: false,
             errored: false,
+            logits_buf: Vec::new(),
         })
     }
 
@@ -324,7 +346,38 @@ impl GenerationStepper {
         if self.finished {
             return Ok(false);
         }
-        match decode_step(self.session.as_mut(), &self.spec, &mut self.rng) {
+        // Detach the buffer so the session borrow and the buffer borrow
+        // don't overlap; reattached below, capacity intact.
+        let mut buf = std::mem::take(&mut self.logits_buf);
+        let result = decode_step(self.session.as_mut(), &self.spec, &mut self.rng, &mut buf);
+        self.logits_buf = buf;
+        self.settle(result)
+    }
+
+    /// Advance one token using logits the caller already computed for this
+    /// session — the batched-decode entry point. `logits` **must** be
+    /// bitwise what [`DecodeSession::logits`] would return right now (a
+    /// fused [`crate::session::BatchDriver::logits_batch`] lane satisfies
+    /// this by contract); everything downstream of the logits — trace
+    /// recording, RNG consumption, stop handling, the append — is the very
+    /// code [`step`] runs, so a precomputed step is byte-identical to a
+    /// single-lane one.
+    ///
+    /// [`step`]: GenerationStepper::step
+    pub fn step_precomputed(&mut self, logits: &[f32]) -> Result<bool, LmError> {
+        if self.finished {
+            return Ok(false);
+        }
+        let result = decode_step_from(self.session.as_mut(), logits, &self.spec, &mut self.rng);
+        self.settle(result)
+    }
+
+    /// Shared bookkeeping tail of [`step`] / [`step_precomputed`].
+    ///
+    /// [`step`]: GenerationStepper::step
+    /// [`step_precomputed`]: GenerationStepper::step_precomputed
+    fn settle(&mut self, result: Result<Option<GenStep>, LmError>) -> Result<bool, LmError> {
+        match result {
             Ok(Some(step)) => {
                 self.steps.push(step);
                 if self.steps.len() >= self.spec.max_tokens {
@@ -343,6 +396,19 @@ impl GenerationStepper {
                 Err(e)
             }
         }
+    }
+
+    /// Read-only view of the underlying session, for batched-decode
+    /// drivers that need the lane's state to compute its logits.
+    pub fn session(&self) -> &dyn DecodeSession {
+        self.session.as_ref()
+    }
+
+    /// The session's batch-group handle (see
+    /// [`DecodeSession::batch_driver`]): `Some` when this lane's substrate
+    /// can fuse it with same-key lanes into one forward pass.
+    pub fn batch_driver(&self) -> Option<crate::session::BatchDriverRef<'_>> {
+        self.session.batch_driver()
     }
 
     /// Re-arm a stepper frozen by a decode error so the next [`step`] call
@@ -416,6 +482,63 @@ impl GenerationStepper {
     }
 }
 
+/// Advance every stepper one token, fusing same-substrate lanes into one
+/// batched forward pass where their sessions expose a
+/// [`crate::session::BatchDriver`].
+///
+/// Byte-identity with sequential stepping holds by construction: sessions
+/// are independent, so computing every fused lane's logits *before* any
+/// lane appends cannot change what any lane sees; each lane then consumes
+/// its logits through [`GenerationStepper::step_precomputed`] — the same
+/// sampling/trace/append code `step` runs — in slice order. Lanes without
+/// a driver (foreign sessions, [`crate::InductionLm`]'s sparse-index
+/// sessions), singleton groups, and already-finished steppers take the
+/// plain [`GenerationStepper::step`] path unchanged.
+///
+/// Returns one `step`-shaped result per stepper, in order. (The serve
+/// scheduler re-implements this loop rather than calling it, because it
+/// interleaves per-lane panic containment; this function is the
+/// sequential, panic-transparent form and the anchor for the batched ≡
+/// single-step equivalence suites.)
+pub fn step_batch(steppers: &mut [&mut GenerationStepper]) -> Vec<Result<bool, LmError>> {
+    // Group steppable lanes by driver key, first-seen order.
+    let mut groups: Vec<(usize, Vec<usize>)> = Vec::new();
+    for (i, s) in steppers.iter().enumerate() {
+        if s.is_finished() {
+            continue;
+        }
+        if let Some(h) = s.batch_driver() {
+            match groups.iter_mut().find(|(k, _)| *k == h.key) {
+                Some((_, idxs)) => idxs.push(i),
+                None => groups.push((h.key, vec![i])),
+            }
+        }
+    }
+    // One fused forward per group of two or more lanes.
+    let mut fused: Vec<Option<Vec<f32>>> = steppers.iter().map(|_| None).collect();
+    for (_, idxs) in groups.iter().filter(|(_, idxs)| idxs.len() >= 2) {
+        let Some(first) = idxs.first() else { continue };
+        let Some(handle) = steppers[*first].batch_driver() else {
+            continue;
+        };
+        let lanes: Vec<&dyn DecodeSession> = idxs.iter().map(|&i| steppers[i].session()).collect();
+        let mut out: Vec<Vec<f32>> = idxs.iter().map(|_| Vec::new()).collect();
+        handle.driver.logits_batch(&lanes, &mut out);
+        for (&i, buf) in idxs.iter().zip(out) {
+            fused[i] = Some(buf);
+        }
+    }
+    // Step in slice order; fused lanes consume their precomputed logits.
+    steppers
+        .iter_mut()
+        .zip(fused)
+        .map(|(s, buf)| match buf {
+            Some(b) => s.step_precomputed(&b),
+            None => s.step(),
+        })
+        .collect()
+}
+
 /// §V-D future-work decoding: "an LLM can be given a unique token to signal
 /// to a supporting model that a number should be generated at a particular
 /// position within its response. This mimics modern LLM tool usage patterns
@@ -446,6 +569,7 @@ where
     session.extend(prompt);
     let mut steps = Vec::new();
     let mut stopped_naturally = false;
+    let mut logits_buf = Vec::new();
     let tokenizer = model.tokenizer();
 
     while steps.len() < spec.max_tokens {
@@ -468,7 +592,7 @@ where
                 continue;
             }
         }
-        match decode_step(&mut *session, spec, &mut rng)? {
+        match decode_step(&mut *session, spec, &mut rng, &mut logits_buf)? {
             Some(step) => steps.push(step),
             None => {
                 stopped_naturally = true;
@@ -1034,6 +1158,52 @@ mod tests {
         assert!(!fresh.retry(), "fresh steppers are not retryable");
         fresh.abort();
         assert!(!fresh.retry(), "aborted steppers are not retryable");
+    }
+
+    #[test]
+    fn step_batch_without_drivers_matches_sequential_stepping() {
+        // CycleLm sessions expose no BatchDriver, so step_batch must take
+        // the loop-of-single-steps fallback and stay byte-identical.
+        let m = cycle_model();
+        let prompt = m.tokenizer.encode("ab");
+        let mk = |seed| {
+            let mut s = m.clone().session();
+            s.extend(&prompt);
+            GenerationStepper::new(s, GenerateSpec::paper(seed)).unwrap()
+        };
+        let mut a = mk(1);
+        let mut b = mk(2);
+        {
+            let mut lanes = [&mut a, &mut b];
+            while lanes.iter().any(|s| !s.is_finished()) {
+                for r in step_batch(&mut lanes) {
+                    r.unwrap();
+                }
+            }
+        }
+        for seed in [1u64, 2] {
+            let mut solo = mk(seed);
+            while solo.step().unwrap() {}
+            let batched = if seed == 1 {
+                std::mem::replace(&mut a, mk(0))
+            } else {
+                std::mem::replace(&mut b, mk(0))
+            };
+            assert_eq!(batched.into_trace(), solo.into_trace(), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn logits_into_default_matches_logits() {
+        let m = cycle_model();
+        let ctx = m.tokenizer.encode("abcab");
+        let mut s = m.clone().session();
+        s.extend(&ctx);
+        let mut buf = vec![9.0; 3];
+        s.logits_into(&mut buf);
+        assert_eq!(buf, s.logits());
+        assert!(s.as_any().is_none(), "fallback sessions are opaque");
+        assert!(s.batch_driver().is_none(), "fallback sessions fuse nothing");
     }
 
     #[test]

@@ -220,16 +220,30 @@ impl DecodeSession for InductionLmSession {
     }
 
     fn logits(&self) -> Vec<f32> {
+        let mut out = Vec::new();
+        self.logits_into(&mut out);
+        out
+    }
+
+    /// Native buffer-reusing path: the shared `finish_logits` tail writes
+    /// straight into `out`, so a decode loop on this substrate performs no
+    /// vocab-wide allocation per step.
+    fn logits_into(&self, out: &mut Vec<f32>) {
         let (votes, strength) = self.assemble_votes();
         let query_start = self.blocks.last().map(|b| b.start);
-        self.model.finish_logits(
+        self.model.finish_logits_into(
             &self.tokens,
             self.blocks.len(),
             query_start,
             &votes,
             strength,
             self.seed,
-        )
+            out,
+        );
+    }
+
+    fn as_any(&self) -> Option<&dyn std::any::Any> {
+        Some(self)
     }
 
     fn fork(&self) -> Box<dyn DecodeSession> {

@@ -447,6 +447,27 @@ impl InductionLm {
         strength: f64,
         seed: u64,
     ) -> Vec<f32> {
+        let mut out = Vec::new();
+        self.finish_logits_into(context, n_blocks, query_start, votes, strength, seed, &mut out);
+        out
+    }
+
+    /// [`InductionLm::finish_logits`] writing into a caller-owned buffer —
+    /// the allocation-free tail behind [`DecodeSession::logits_into`] on
+    /// [`incremental::InductionLmSession`] (decode on this substrate is
+    /// dominated by this vocab-wide pass, so the per-step `Vec` it used to
+    /// return was measurable at concurrency 1).
+    #[allow(clippy::too_many_arguments)]
+    fn finish_logits_into(
+        &self,
+        context: &[TokenId],
+        n_blocks: usize,
+        query_start: Option<usize>,
+        votes: &BTreeMap<TokenId, f64>,
+        strength: f64,
+        seed: u64,
+        out: &mut Vec<f32>,
+    ) {
         let vocab = self.tokenizer.vocab();
         let n = vocab.len();
         let mut p = vec![0.0f64; n];
@@ -551,21 +572,19 @@ impl InductionLm {
 
         // To logits with seed-keyed jitter (support never changes).
         let t_len = context.len() as u64;
-        p.iter()
-            .enumerate()
-            .map(|(i, &prob)| {
-                if prob <= 0.0 {
-                    f32::NEG_INFINITY
-                } else {
-                    let mut key = [0u8; 24];
-                    key[..8].copy_from_slice(&seed.to_le_bytes());
-                    key[8..16].copy_from_slice(&t_len.to_le_bytes());
-                    key[16..24].copy_from_slice(&(i as u64).to_le_bytes());
-                    let u = hash_to_unit(hash_bytes(&key)) as f32;
-                    (prob.ln() as f32) + self.cfg.jitter_eps * (u - 0.5)
-                }
-            })
-            .collect()
+        out.clear();
+        out.extend(p.iter().enumerate().map(|(i, &prob)| {
+            if prob <= 0.0 {
+                f32::NEG_INFINITY
+            } else {
+                let mut key = [0u8; 24];
+                key[..8].copy_from_slice(&seed.to_le_bytes());
+                key[8..16].copy_from_slice(&t_len.to_le_bytes());
+                key[16..24].copy_from_slice(&(i as u64).to_le_bytes());
+                let u = hash_to_unit(hash_bytes(&key)) as f32;
+                (prob.ln() as f32) + self.cfg.jitter_eps * (u - 0.5)
+            }
+        }));
     }
 }
 

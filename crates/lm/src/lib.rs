@@ -35,11 +35,11 @@ pub mod trace;
 pub use constrain::{generate_constrained, LogitConstraint, ValueGrammar};
 pub use error::{LmError, MAX_TOKEN_BUDGET};
 pub use generate::{
-    generate, generate_session, GenerateSpec, GenerateSpecBuilder, GenerationStepper,
+    generate, generate_session, step_batch, GenerateSpec, GenerateSpecBuilder, GenerationStepper,
 };
 pub use induction::incremental::InductionLmSession;
 pub use induction::{InductionConfig, InductionLm};
 pub use model::LanguageModel;
 pub use sampler::Sampler;
-pub use session::{DecodeSession, FallbackSession};
+pub use session::{BatchDriver, BatchDriverRef, DecodeSession, FallbackSession};
 pub use trace::{GenStep, GenerationTrace, TokenAlt};

@@ -51,6 +51,32 @@ pub trait DecodeSession: Send {
     /// `NEG_INFINITY` for infeasible tokens.
     fn logits(&self) -> Vec<f32>;
 
+    /// Write the next-token logits into a caller-owned buffer, bitwise
+    /// identical to [`DecodeSession::logits`]. The default delegates to
+    /// `logits()`; native sessions override it to fill `out` in place so a
+    /// decode loop reuses one vocab-wide buffer across every step instead
+    /// of allocating a fresh `Vec` per token.
+    fn logits_into(&self, out: &mut Vec<f32>) {
+        *out = self.logits();
+    }
+
+    /// Concrete-type access for batched-decode drivers ([`BatchDriver`]
+    /// implementations downcast grouped lanes back to their native session
+    /// type). The default `None` keeps foreign sessions on the
+    /// loop-of-single-steps path; native sessions return `Some(self)`.
+    fn as_any(&self) -> Option<&dyn std::any::Any> {
+        None
+    }
+
+    /// The batched-decode driver for this session's substrate, if the
+    /// substrate can fuse several sessions' logits into one forward pass.
+    /// Sessions returning the same [`BatchDriverRef::key`] may be grouped
+    /// into a single [`BatchDriver::logits_batch`] call. The default `None`
+    /// means "step me singly" — the universal fallback.
+    fn batch_driver(&self) -> Option<BatchDriverRef<'_>> {
+        None
+    }
+
     /// Snapshot this session into an independent owned copy. Appending to
     /// the fork never affects the parent, and the fork may outlive it.
     fn fork(&self) -> Box<dyn DecodeSession>;
@@ -74,6 +100,42 @@ pub trait DecodeSession: Send {
     fn is_empty(&self) -> bool {
         self.tokens().is_empty()
     }
+}
+
+/// A batched-decode forward pass: one call computes next-token logits for
+/// a whole group of sessions, reusing each weight tile across the batch.
+///
+/// The contract is *bitwise equivalence with the single-lane path*: for
+/// every lane `b`, the bytes written into `out[b]` must equal what
+/// `lanes[b].logits_into(&mut out[b])` would have written — same summation
+/// order per lane, no cross-lane coupling. Implementations take `&self`
+/// and must not mutate any session (lanes are read-only borrows), so an
+/// aborted batched attempt leaves every session exactly where it was —
+/// the property the serve scheduler's fault isolation relies on when it
+/// re-runs a faulted group lane by lane. Lanes an implementation cannot
+/// handle natively (a foreign session type, a session of another model
+/// instance) must be filled via that lane's own `logits_into` rather than
+/// rejected, keeping the call infallible apart from panics.
+pub trait BatchDriver {
+    /// Compute logits for every lane, writing lane `b` into `out[b]`.
+    ///
+    /// # Panics
+    /// May panic if `out.len() != lanes.len()`; callers size `out` to the
+    /// group.
+    fn logits_batch(&self, lanes: &[&dyn DecodeSession], out: &mut [Vec<f32>]);
+}
+
+/// A session's handle onto its substrate's [`BatchDriver`], plus the
+/// grouping key deciding which sessions may share one fused call.
+pub struct BatchDriverRef<'a> {
+    /// Opaque grouping key — typically the address of the owning model —
+    /// identical for exactly the sessions whose logits the driver can fuse
+    /// into one forward pass. Only compared for equality, never
+    /// dereferenced, and never persisted across rounds' group boundaries
+    /// (addresses are not stable run to run).
+    pub key: usize,
+    /// The driver itself, borrowed from the session's model.
+    pub driver: &'a dyn BatchDriver,
 }
 
 /// The from-scratch session every model gets by default: keeps the token

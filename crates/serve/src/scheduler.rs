@@ -11,6 +11,14 @@
 //!    a snapshot for the next request, re-keys if asked, and wraps the
 //!    session in a [`GenerationStepper`].
 //! 2. **Step** — advance every in-flight stepper by exactly one token.
+//!    With batch fusion on (the default), steppers sharing a substrate
+//!    are grouped by their [`lmpeel_lm::BatchDriver`] key and each group's
+//!    logits are computed in **one fused forward pass per round**
+//!    ([`lmpeel_lm::BatchDriver::logits_batch`]); each lane then consumes
+//!    its precomputed logits. Fusion is byte-invisible: the driver
+//!    contract pins each fused lane's logits bitwise to its single-lane
+//!    path, and sessions are independent, so traces are identical with
+//!    fusion on, off, or under any group shape.
 //! 3. **Retire** — finished (or errored) generations send their result over
 //!    the per-request response channel immediately and free their slot.
 //!
@@ -46,7 +54,7 @@
 use crate::request::{Deadline, GenerateRequest, GenerateResponse, RequestError};
 use crate::service::ServeStats;
 use crate::trie::{PrefixTrie, TrieStats};
-use lmpeel_lm::{GenerationStepper, LanguageModel};
+use lmpeel_lm::{DecodeSession, GenerationStepper, LanguageModel, LmError};
 use std::collections::HashMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -80,6 +88,10 @@ pub(crate) struct SchedulerConfig {
     /// In-place decode-step retries granted to each request before a
     /// transient `LmError` becomes its terminal error.
     pub retry_budget: u32,
+    /// Fuse same-substrate steppers into one batched forward pass per
+    /// round (byte-invisible; `false` forces the loop-of-single-steps
+    /// reference path).
+    pub fuse_batches: bool,
 }
 
 /// Cap on the exponential cooldown so a long-dead substrate still gets a
@@ -192,21 +204,54 @@ impl Inflight {
     /// first. Panics from the substrate are caught here and become this
     /// request's terminal error.
     fn step(&mut self) {
+        if self.precheck() {
+            self.step_single();
+        }
+    }
+
+    /// Pre-step control checks: retire on cancellation or an expired
+    /// deadline. Returns true when the lane still wants a decode step.
+    /// Consumes no step budget — `steps_taken` only moves when a step is
+    /// actually attempted.
+    fn precheck(&mut self) -> bool {
         if self.error.is_some() || self.stepper.is_finished() {
-            return;
+            return false;
         }
         if self.cancel.load(Ordering::SeqCst) {
             self.stepper.abort();
             self.error = Some(RequestError::Cancelled);
-            return;
+            return false;
         }
         if let Some(e) = self.deadline_expired() {
             self.stepper.abort();
             self.error = Some(e);
-            return;
+            return false;
         }
+        true
+    }
+
+    /// One single-lane decode step: the lane computes its own logits.
+    fn step_single(&mut self) {
         self.steps_taken += 1;
-        match catch_unwind(AssertUnwindSafe(|| self.stepper.step())) {
+        let result = catch_unwind(AssertUnwindSafe(|| self.stepper.step()));
+        self.settle_step(result);
+    }
+
+    /// One decode step consuming logits a fused batch call already
+    /// computed for this lane (bitwise what the lane would have computed
+    /// itself, per the [`lmpeel_lm::BatchDriver`] contract).
+    fn step_with(&mut self, logits: &[f32]) {
+        self.steps_taken += 1;
+        let result = catch_unwind(AssertUnwindSafe(|| self.stepper.step_precomputed(logits)));
+        self.settle_step(result);
+    }
+
+    /// Shared post-step bookkeeping for both step flavours.
+    fn settle_step(
+        &mut self,
+        result: Result<Result<bool, LmError>, Box<dyn std::any::Any + Send>>,
+    ) {
+        match result {
             Ok(Ok(_)) => {}
             Ok(Err(e)) => {
                 // A transient decode error: retry in place while budget
@@ -283,6 +328,15 @@ pub(crate) struct Scheduler {
     /// summed `prefix` stats block is rebuilt at most once per round and
     /// only when it could differ.
     trie_dirty: bool,
+    /// Round-local scratch, hoisted so a steady-state decode round
+    /// allocates nothing: the lanes steppable this round with their fuse
+    /// keys, the lane indices of the group being driven, the fused logits
+    /// buffers (one vocab-wide `Vec` per lane, reused round over round),
+    /// and the retire list.
+    step_plan: Vec<(usize, Option<usize>)>,
+    group_scratch: Vec<usize>,
+    fused_bufs: Vec<Vec<f32>>,
+    finished_scratch: Vec<Inflight>,
 }
 
 impl Scheduler {
@@ -308,6 +362,10 @@ impl Scheduler {
             breakers: HashMap::new(),
             round: 0,
             trie_dirty: false,
+            step_plan: Vec::new(),
+            group_scratch: Vec::new(),
+            fused_bufs: Vec::new(),
+            finished_scratch: Vec::new(),
         }
     }
 
@@ -353,11 +411,16 @@ impl Scheduler {
     /// finished ones immediately.
     fn step_round(&mut self) {
         self.round += 1;
-        for w in &mut self.inflight {
-            w.step();
+        if self.cfg.fuse_batches {
+            self.step_round_fused();
+        } else {
+            for w in &mut self.inflight {
+                w.step();
+            }
         }
-        let finished: Vec<Inflight> = self.inflight.extract_if(.., |w| w.done()).collect();
-        for w in finished {
+        let mut finished = std::mem::take(&mut self.finished_scratch);
+        finished.extend(self.inflight.extract_if(.., |w| w.done()));
+        for w in finished.drain(..) {
             match &w.error {
                 Some(RequestError::Panicked(_)) => self.note_panic(&w.substrate, w.probe),
                 None => self.note_success(&w.substrate, w.probe),
@@ -380,6 +443,103 @@ impl Scheduler {
             // A dropped handle just means the caller stopped caring.
             let _ = responder.send(result);
         }
+        self.finished_scratch = finished;
+    }
+
+    /// One fused decode round: precheck every lane, group the steppable
+    /// lanes by their substrate's batch-driver key in first-seen order,
+    /// and drive each group two-or-more wide through a single
+    /// `logits_batch` forward pass. Lanes with no driver and singleton
+    /// groups take the ordinary single-lane step. Per-request bytes
+    /// cannot differ from the unfused round: sessions are independent,
+    /// the driver contract pins each fused lane's logits bitwise to its
+    /// own single-lane computation, and each lane still consumes its own
+    /// RNG exactly once per step.
+    fn step_round_fused(&mut self) {
+        let mut plan = std::mem::take(&mut self.step_plan);
+        plan.clear();
+        for (i, w) in self.inflight.iter_mut().enumerate() {
+            if w.precheck() {
+                let key = w.stepper.batch_driver().map(|h| h.key);
+                plan.push((i, key));
+            }
+        }
+        let mut group = std::mem::take(&mut self.group_scratch);
+        for (slot, &(i, key)) in plan.iter().enumerate() {
+            let Some(k) = key else {
+                // No driver: this lane always steps alone.
+                if let Some(w) = self.inflight.get_mut(i) {
+                    w.step_single();
+                }
+                continue;
+            };
+            if plan.iter().take(slot).any(|&(_, k2)| k2 == Some(k)) {
+                // Group already driven when its first lane came up.
+                continue;
+            }
+            group.clear();
+            group.extend(
+                plan.iter()
+                    .filter(|&&(_, k2)| k2 == Some(k))
+                    .map(|&(j, _)| j),
+            );
+            if group.len() < 2 {
+                if let Some(w) = self.inflight.get_mut(i) {
+                    w.step_single();
+                }
+            } else {
+                self.step_group(&group);
+            }
+        }
+        group.clear();
+        self.group_scratch = group;
+        self.step_plan = plan;
+    }
+
+    /// Drive one same-key group through a fused `logits_batch` call, then
+    /// feed each lane its precomputed logits. If the fused attempt cannot
+    /// run or panics, fall back to stepping every lane singly: the driver
+    /// takes the sessions as read-only borrows and an unwound call wrote
+    /// nothing into any of them, so the per-lane re-run starts from
+    /// untouched state — the one faulted lane re-panics inside its own
+    /// `catch_unwind` and becomes exactly one terminal error, while every
+    /// healthy lane decodes byte-identically.
+    fn step_group(&mut self, group: &[usize]) {
+        let mut bufs = std::mem::take(&mut self.fused_bufs);
+        if bufs.len() < group.len() {
+            bufs.resize_with(group.len(), Vec::new);
+        }
+        let fused = {
+            let lanes: Vec<&dyn DecodeSession> = group
+                .iter()
+                .filter_map(|&j| self.inflight.get(j))
+                .map(|w| w.stepper.session())
+                .collect();
+            let handle = group
+                .first()
+                .and_then(|&j| self.inflight.get(j))
+                .and_then(|w| w.stepper.batch_driver());
+            match (handle, bufs.get_mut(..group.len())) {
+                (Some(h), Some(out)) if lanes.len() == group.len() => {
+                    catch_unwind(AssertUnwindSafe(|| h.driver.logits_batch(&lanes, out))).is_ok()
+                }
+                _ => false,
+            }
+        };
+        if fused {
+            for (&j, logits) in group.iter().zip(&bufs) {
+                if let Some(w) = self.inflight.get_mut(j) {
+                    w.step_with(logits);
+                }
+            }
+        } else {
+            for &j in group {
+                if let Some(w) = self.inflight.get_mut(j) {
+                    w.step_single();
+                }
+            }
+        }
+        self.fused_bufs = bufs;
     }
 
     /// Route a panic into the substrate's breaker. While closed, it
@@ -608,5 +768,250 @@ impl Scheduler {
             prefix.evictions += t.evictions;
         }
         crate::sync::lock_unpoisoned(&self.stats).prefix = prefix;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::request::GenerateResponse;
+    use lmpeel_lm::{
+        generate, BatchDriver, BatchDriverRef, GenerateSpec, GenerationStepper, InductionLm,
+    };
+    use lmpeel_tokenizer::TokenId;
+    use std::sync::atomic::AtomicU32;
+    use std::sync::mpsc;
+
+    /// A session wrapper that advertises a shared batch driver so the
+    /// scheduler fuses its lanes; the driver's behaviour is injected per
+    /// test (detonate, pass through, etc). Optionally panics inside its
+    /// own `logits` once the context reaches `panic_at_len` tokens.
+    struct RiggedSession {
+        inner: Box<dyn DecodeSession>,
+        driver: Arc<RiggedDriver>,
+        panic_at_len: Option<usize>,
+    }
+
+    struct RiggedDriver {
+        /// Panic the fused call itself (before any lane logits).
+        detonate: bool,
+        /// Fused calls attempted (reaching the driver at all).
+        fused_calls: AtomicU32,
+    }
+
+    impl BatchDriver for RiggedDriver {
+        fn logits_batch(&self, lanes: &[&dyn DecodeSession], out: &mut [Vec<f32>]) {
+            self.fused_calls.fetch_add(1, Ordering::SeqCst);
+            if self.detonate {
+                panic!("{} fused bomb", crate::faults::INJECTED_PANIC);
+            }
+            for (lane, buf) in lanes.iter().zip(out) {
+                lane.logits_into(buf);
+            }
+        }
+    }
+
+    impl DecodeSession for RiggedSession {
+        fn tokens(&self) -> &[TokenId] {
+            self.inner.tokens()
+        }
+        fn append(&mut self, token: TokenId) {
+            self.inner.append(token)
+        }
+        fn logits(&self) -> Vec<f32> {
+            if let Some(n) = self.panic_at_len {
+                if self.inner.tokens().len() >= n {
+                    panic!("{} lane bomb", crate::faults::INJECTED_PANIC);
+                }
+            }
+            self.inner.logits()
+        }
+        fn fork(&self) -> Box<dyn DecodeSession> {
+            Box::new(RiggedSession {
+                inner: self.inner.fork(),
+                driver: Arc::clone(&self.driver),
+                panic_at_len: self.panic_at_len,
+            })
+        }
+        fn batch_driver(&self) -> Option<BatchDriverRef<'_>> {
+            Some(BatchDriverRef {
+                key: Arc::as_ptr(&self.driver) as usize,
+                driver: &*self.driver,
+            })
+        }
+    }
+
+    struct Harness {
+        scheduler: Scheduler,
+        receivers: Vec<mpsc::Receiver<Result<GenerateResponse, RequestError>>>,
+        _tx: mpsc::Sender<Envelope>,
+    }
+
+    /// A scheduler with `lanes` pre-admitted (bypassing the queue so the
+    /// test is deterministic: every lane is in flight before any round).
+    fn harness(steppers: Vec<GenerationStepper>) -> Harness {
+        // The sync queue stays empty; rounds are driven by hand.
+        let (tx, rx) = mpsc::channel();
+        let mut scheduler = Scheduler::new(
+            rx,
+            HashMap::new(),
+            SchedulerConfig {
+                max_batch: 16,
+                trie_capacity: 0,
+                quarantine_after: 3,
+                breaker_cooldown: 8,
+                retry_budget: 0,
+                fuse_batches: true,
+            },
+            Arc::new(Mutex::new(ServeStats::default())),
+            Arc::new(AtomicBool::new(false)),
+        );
+        let mut receivers = Vec::new();
+        for stepper in steppers {
+            let (rtx, rrx) = mpsc::channel();
+            receivers.push(rrx);
+            scheduler.inflight.push(Inflight {
+                stepper,
+                responder: rtx,
+                substrate: "rigged".to_string(),
+                cancel: Arc::new(AtomicBool::new(false)),
+                deadline: Deadline::default(),
+                submitted_at: Instant::now(),
+                steps_taken: 0,
+                reused_tokens: 0,
+                prefilled_tokens: 0,
+                error: None,
+                probe: false,
+                retries_left: 0,
+                retries_used: 0,
+            });
+        }
+        Harness {
+            scheduler,
+            receivers,
+            _tx: tx,
+        }
+    }
+
+    fn spec(seed: u64) -> GenerateSpec {
+        GenerateSpec::builder()
+            .max_tokens(4)
+            .seed(seed)
+            .build()
+            .unwrap()
+    }
+
+    fn rigged_steppers(
+        model: &Arc<InductionLm>,
+        driver: &Arc<RiggedDriver>,
+        lanes: usize,
+        panic_lane: Option<usize>,
+    ) -> (Vec<TokenId>, Vec<GenerationStepper>) {
+        let prompt = model.tokenizer().encode(
+            "Hyperparameter configuration: outer_loop_tiling_factor is 80\nPerformance: ",
+        );
+        let steppers = (0..lanes)
+            .map(|i| {
+                let mut session = Box::new(RiggedSession {
+                    inner: model.clone().session(),
+                    driver: Arc::clone(driver),
+                    // The faulted lane blows up on its 2nd decode step.
+                    panic_at_len: (panic_lane == Some(i)).then(|| prompt.len() + 1),
+                }) as Box<dyn DecodeSession>;
+                session.extend(&prompt);
+                GenerationStepper::new(session, spec(i as u64)).unwrap()
+            })
+            .collect();
+        (prompt, steppers)
+    }
+
+    fn drain(h: &mut Harness) -> Vec<Result<GenerateResponse, RequestError>> {
+        for _ in 0..64 {
+            if h.scheduler.inflight.is_empty() {
+                break;
+            }
+            h.scheduler.step_round();
+        }
+        assert!(h.scheduler.inflight.is_empty(), "rounds failed to converge");
+        h.receivers
+            .iter()
+            .map(|r| r.try_recv().expect("every lane retired"))
+            .collect()
+    }
+
+    /// A panic inside the fused `logits_batch` call itself must not fail
+    /// any request: the group re-runs lane by lane and every trace is
+    /// byte-identical to the sequential loop.
+    #[test]
+    fn fused_driver_panic_falls_back_to_single_lane_steps() {
+        crate::faults::silence_injected_panics();
+        let model = Arc::new(InductionLm::paper(0));
+        let driver = Arc::new(RiggedDriver {
+            detonate: true,
+            fused_calls: AtomicU32::new(0),
+        });
+        let (prompt, steppers) = rigged_steppers(&model, &driver, 3, None);
+        let mut h = harness(steppers);
+        let results = drain(&mut h);
+        assert!(
+            driver.fused_calls.load(Ordering::SeqCst) > 0,
+            "the fused path was never attempted"
+        );
+        for (i, r) in results.into_iter().enumerate() {
+            let got = r.unwrap_or_else(|e| panic!("lane {i} failed: {e:?}"));
+            let expected = generate(&model, &prompt, &spec(i as u64)).unwrap();
+            assert_eq!(got.trace, expected, "lane {i} diverged after fallback");
+        }
+    }
+
+    /// One lane panicking during the fused attempt is isolated: exactly
+    /// that request terminates with `Panicked`, and the healthy lanes'
+    /// traces stay byte-identical to the sequential loop.
+    #[test]
+    fn faulted_lane_in_fused_group_fails_alone() {
+        crate::faults::silence_injected_panics();
+        let model = Arc::new(InductionLm::paper(0));
+        let driver = Arc::new(RiggedDriver {
+            detonate: false,
+            fused_calls: AtomicU32::new(0),
+        });
+        let (prompt, steppers) = rigged_steppers(&model, &driver, 3, Some(1));
+        let mut h = harness(steppers);
+        let results = drain(&mut h);
+        assert!(driver.fused_calls.load(Ordering::SeqCst) > 0);
+        for (i, r) in results.into_iter().enumerate() {
+            if i == 1 {
+                match r {
+                    Err(RequestError::Panicked(msg)) => {
+                        assert!(msg.contains("lane bomb"), "got {msg}")
+                    }
+                    other => panic!("faulted lane got {other:?}"),
+                }
+            } else {
+                let got = r.unwrap_or_else(|e| panic!("healthy lane {i} failed: {e:?}"));
+                let expected = generate(&model, &prompt, &spec(i as u64)).unwrap();
+                assert_eq!(got.trace, expected, "healthy lane {i} diverged");
+            }
+        }
+    }
+
+    /// With fusion disabled the same rigged group must never reach the
+    /// driver at all — the reference path steps lane by lane.
+    #[test]
+    fn unfused_rounds_never_call_the_driver() {
+        let model = Arc::new(InductionLm::paper(0));
+        let driver = Arc::new(RiggedDriver {
+            detonate: true,
+            fused_calls: AtomicU32::new(0),
+        });
+        let (prompt, steppers) = rigged_steppers(&model, &driver, 2, None);
+        let mut h = harness(steppers);
+        h.scheduler.cfg.fuse_batches = false;
+        let results = drain(&mut h);
+        assert_eq!(driver.fused_calls.load(Ordering::SeqCst), 0);
+        for (i, r) in results.into_iter().enumerate() {
+            let expected = generate(&model, &prompt, &spec(i as u64)).unwrap();
+            assert_eq!(r.unwrap().trace, expected);
+        }
     }
 }

@@ -111,6 +111,7 @@ pub struct ServiceBuilder {
     quarantine_after: u32,
     breaker_cooldown: u64,
     retry_budget: u32,
+    fuse_batches: bool,
 }
 
 impl Default for ServiceBuilder {
@@ -124,6 +125,7 @@ impl Default for ServiceBuilder {
             quarantine_after: 3,
             breaker_cooldown: 8,
             retry_budget: 0,
+            fuse_batches: true,
         }
     }
 }
@@ -197,6 +199,16 @@ impl ServiceBuilder {
         self
     }
 
+    /// Fuse same-substrate in-flight generations into one batched forward
+    /// pass per scheduling round (default `true`). Fusion is
+    /// byte-invisible — every request's trace is identical either way
+    /// (pinned by the batched-determinism suites) — so `false` exists only
+    /// as the reference path for differential tests and benchmarks.
+    pub fn fuse_batches(mut self, fuse: bool) -> Self {
+        self.fuse_batches = fuse;
+        self
+    }
+
     /// Spawn the scheduler thread and return the running service.
     pub fn build(self) -> InferenceService {
         let (tx, rx) = mpsc::sync_channel(self.queue_capacity);
@@ -211,6 +223,7 @@ impl ServiceBuilder {
                 quarantine_after: self.quarantine_after,
                 breaker_cooldown: self.breaker_cooldown,
                 retry_budget: self.retry_budget,
+                fuse_batches: self.fuse_batches,
             },
             Arc::clone(&stats),
             Arc::clone(&draining),

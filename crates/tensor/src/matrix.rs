@@ -121,6 +121,25 @@ impl Tensor2 {
         y
     }
 
+    /// `y = self * x` written into a reusable buffer: identical arithmetic
+    /// to [`Tensor2::matvec`] (same per-row `dot`), but the caller owns the
+    /// output allocation, so a decode loop can run one vocab-wide product
+    /// per step without a vocab-wide `Vec` per step.
+    ///
+    /// # Panics
+    /// Panics on dimension mismatch.
+    pub fn matvec_into(&self, x: &[f32], y: &mut Vec<f32>) {
+        assert_eq!(x.len(), self.cols, "matvec dimension mismatch");
+        y.clear();
+        y.resize(self.rows, 0.0);
+        let chunk = 64;
+        y.par_chunks_mut(chunk).enumerate().for_each(|(c, ys)| {
+            for (o, i) in ys.iter_mut().zip(c * chunk..) {
+                *o = dot(self.row(i), x);
+            }
+        });
+    }
+
     /// `self * other`, rayon-parallel over result rows.
     ///
     /// # Panics
@@ -144,6 +163,59 @@ impl Tensor2 {
                     for (o, &b) in out_row.iter_mut().zip(b_row) {
                         *o += aik * b;
                     }
+                }
+            });
+        out
+    }
+
+    /// Cache-blocked `self * other` whose every output element is **bitwise
+    /// identical** to the [`Tensor2::matvec`] / [`dot`] path on the matching
+    /// column of `other`.
+    ///
+    /// Tiled over row blocks × k blocks (rayon over row blocks); within a
+    /// tile the i-k-j loop reuses each `other` row across the whole row
+    /// block while it is hot in cache, and the j-inner update keeps the
+    /// per-element accumulators independent, so the compiler may vectorize
+    /// across columns. Determinism argument: element `(i, j)` receives the
+    /// add sequence `((0 + a[i][0]·b[0][j]) + a[i][1]·b[1][j]) + …` in
+    /// strictly ascending `k` — k blocks are walked in ascending order and
+    /// `k` ascends within each block — which is exactly the sequential fold
+    /// `dot` performs, including its `-0.0` fold seed (std's float `sum()`
+    /// starts from `-0.0`, the true additive identity). Unlike
+    /// [`Tensor2::matmul`] there is **no** zero-skip: skipping
+    /// `a[i][k] == 0.0` terms could flip a `-0.0` accumulator to `+0.0`
+    /// relative to the single-query path.
+    ///
+    /// # Panics
+    /// Panics on inner-dimension mismatch.
+    pub fn matmul_blocked(&self, other: &Tensor2) -> Tensor2 {
+        assert_eq!(self.cols, other.rows, "matmul inner dimension mismatch");
+        let n = other.cols;
+        // Row block sized so a tile of `other` rows plus the output block
+        // stay L1/L2-resident for the unembedding shapes (vocab × d_sig).
+        const MC: usize = 64;
+        const KC: usize = 256;
+        let mut out = Tensor2::zeros(self.rows, n);
+        out.data
+            .par_chunks_mut(MC * n)
+            .enumerate()
+            .for_each(|(blk, out_block)| {
+                let i0 = blk * MC;
+                // Seed the accumulators exactly as `dot`'s fold does.
+                out_block.fill(-0.0);
+                let mut k0 = 0;
+                while k0 < self.cols {
+                    let k1 = (k0 + KC).min(self.cols);
+                    for (r, out_row) in out_block.chunks_mut(n).enumerate() {
+                        let a_row = &self.row(i0 + r)[k0..k1];
+                        for (k, &aik) in a_row.iter().enumerate() {
+                            let b_row = other.row(k0 + k);
+                            for (o, &b) in out_row.iter_mut().zip(b_row) {
+                                *o += aik * b;
+                            }
+                        }
+                    }
+                    k0 = k1;
                 }
             });
         out
@@ -224,6 +296,70 @@ mod tests {
         for (i, &yi) in y.iter().enumerate() {
             assert!((yi - dot(a.row(i), &x)).abs() < 1e-6, "row {i}");
         }
+    }
+
+    #[test]
+    fn matvec_into_is_bitwise_matvec_and_reuses_capacity() {
+        let a = Tensor2::from_fn(137, 9, |i, j| ((i * 13 + j * 5) % 17) as f32 * 0.25 - 2.0);
+        let x: Vec<f32> = (0..9).map(|i| (i as f32) * 0.5 - 2.0).collect();
+        let mut buf = Vec::new();
+        a.matvec_into(&x, &mut buf);
+        let fresh = a.matvec(&x);
+        assert_eq!(buf.len(), fresh.len());
+        for (b, f) in buf.iter().zip(&fresh) {
+            assert_eq!(b.to_bits(), f.to_bits());
+        }
+        // A dirty, differently-sized buffer is fully overwritten.
+        buf.push(99.0);
+        let cap = buf.capacity();
+        a.matvec_into(&x, &mut buf);
+        assert_eq!(buf, fresh);
+        assert_eq!(buf.capacity(), cap, "reuse must not reallocate");
+    }
+
+    #[test]
+    fn blocked_matmul_is_bitwise_identical_to_matvec_per_column() {
+        // Shapes straddling the MC=64 row-block and the KC k-block
+        // boundaries, with awkward remainders, and values (including exact
+        // zeros and negatives) where float re-association would show up.
+        for (rows, k, cols) in [(1, 1, 1), (63, 7, 3), (64, 96, 4), (130, 300, 17)] {
+            let a = Tensor2::from_fn(rows, k, |i, j| {
+                let v = ((i * 31 + j * 17) % 23) as f32 / 7.0 - 1.5;
+                if (i + j) % 5 == 0 {
+                    0.0
+                } else {
+                    v
+                }
+            });
+            let b = Tensor2::from_fn(k, cols, |i, j| ((i * 7 + j * 29) % 19) as f32 / 3.0 - 3.0);
+            let fused = a.matmul_blocked(&b);
+            for j in 0..cols {
+                let col: Vec<f32> = (0..k).map(|i| b.get(i, j)).collect();
+                let single = a.matvec(&col);
+                for (i, &s) in single.iter().enumerate() {
+                    assert_eq!(
+                        fused.get(i, j).to_bits(),
+                        s.to_bits(),
+                        "({rows}x{k}x{cols}) element ({i},{j}) diverged from matvec"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn blocked_matmul_matches_naive_numerically() {
+        let a = Tensor2::from_fn(70, 11, |i, j| ((i * 31 + j * 7) % 13) as f32 - 6.0);
+        let b = Tensor2::from_fn(11, 9, |i, j| ((i * 17 + j * 3) % 11) as f32 - 5.0);
+        assert!(a.matmul_blocked(&b).max_abs_diff(&naive_matmul(&a, &b)) < 1e-4);
+    }
+
+    #[test]
+    #[should_panic(expected = "inner dimension")]
+    fn blocked_matmul_shape_mismatch_panics() {
+        let a = Tensor2::zeros(2, 3);
+        let b = Tensor2::zeros(2, 3);
+        let _ = a.matmul_blocked(&b);
     }
 
     #[test]

@@ -23,11 +23,12 @@
 //! [`crate::attention`].
 
 use crate::attention::causal_attention;
-use crate::session::TransformerSession;
+use crate::session::{fused_prefix_scores, TransformerSession};
 use crate::signature::{position_encoding, rotate_back, token_signature};
-use lmpeel_lm::{DecodeSession, LanguageModel};
-use lmpeel_tensor::Tensor2;
+use lmpeel_lm::{BatchDriver, DecodeSession, LanguageModel};
+use lmpeel_tensor::{matrix::dot, softmax_in_place, Tensor2};
 use lmpeel_tokenizer::{TokenId, Tokenizer};
+use std::sync::{Arc, OnceLock};
 
 /// Architecture constants.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -73,6 +74,14 @@ impl Default for TransformerConfig {
     }
 }
 
+/// Positions whose previous-token-head attention weights are memoized on
+/// the model. Beyond this, sessions fall back to their own cached
+/// positional rows (bitwise the same result, just not shared).
+const PREV_WEIGHT_CACHE: usize = 2048;
+
+/// One memoization slot per position: filled at most once, then shared.
+type WeightSlots = Box<[OnceLock<Arc<Vec<f32>>>]>;
+
 /// The constructed-weights induction transformer.
 #[derive(Debug, Clone)]
 pub struct InductionTransformer {
@@ -80,6 +89,13 @@ pub struct InductionTransformer {
     cfg: TransformerConfig,
     /// Signature table, `vocab x d_sig`.
     signatures: Tensor2,
+    /// Lazily-filled previous-token-head attention rows, indexed by
+    /// `[steps - 1][position]`. The row for a position is a pure function
+    /// of the position and the architecture constants — tokens never
+    /// enter it — so one computation serves every session, lane, and
+    /// fork of this model instance. `OnceLock` keeps the fill race-free
+    /// without a lock on the read path.
+    prev_weights: [WeightSlots; 2],
 }
 
 impl InductionTransformer {
@@ -92,11 +108,37 @@ impl InductionTransformer {
                 .row_mut(t)
                 .copy_from_slice(&token_signature(t as TokenId, cfg.d_sig));
         }
+        let empty = || (0..PREV_WEIGHT_CACHE).map(|_| OnceLock::new()).collect();
         Self {
             tokenizer,
             cfg,
             signatures,
+            prev_weights: [empty(), empty()],
         }
+    }
+
+    /// Post-softmax previous-token-head attention weights over positions
+    /// `0..=p`, with the query rotated back `steps` (1 for the adjacent
+    /// head, 2 for the bigram head). Token-independent, so the result is
+    /// shared across sessions; `None` past the cache horizon, where the
+    /// session computes the identical row from its own positional cache.
+    /// Filled and fresh rows are byte-identical: the slot is initialized
+    /// by the same deterministic arithmetic the session path runs.
+    pub(crate) fn prev_head_weights(&self, p: usize, steps: usize) -> Option<Arc<Vec<f32>>> {
+        let slot = self.prev_weights[steps - 1].get(p)?;
+        Some(
+            slot.get_or_init(|| {
+                let q = rotate_back(&position_encoding(p, self.cfg.rope_pairs), steps);
+                let mut scores: Vec<f32> = (0..=p)
+                    .map(|k| {
+                        self.cfg.beta_prev * dot(&q, &position_encoding(k, self.cfg.rope_pairs))
+                    })
+                    .collect();
+                softmax_in_place(&mut scores);
+                Arc::new(scores)
+            })
+            .clone(),
+        )
     }
 
     /// Paper-vocabulary instance with default architecture.
@@ -118,11 +160,20 @@ impl InductionTransformer {
     /// matrix–vector product against the signature table, then scale and
     /// floor. Shared by the batch forward pass and the incremental session.
     pub fn unembed(&self, s2: &[f32]) -> Vec<f32> {
-        let mut logits = self.signatures.matvec(s2);
-        for l in &mut logits {
+        let mut logits = Vec::new();
+        self.unembed_into(s2, &mut logits);
+        logits
+    }
+
+    /// [`Self::unembed`] into a caller-owned buffer, bitwise identical and
+    /// allocation-free once the buffer has vocab capacity. This is the
+    /// vocab-wide per-step cost, so the decode loop reuses one buffer
+    /// across every generated token.
+    pub fn unembed_into(&self, s2: &[f32], out: &mut Vec<f32>) {
+        self.signatures.matvec_into(s2, out);
+        for l in out.iter_mut() {
             *l = (self.cfg.kappa * *l).max(self.cfg.floor);
         }
-        logits
     }
 
     /// Full forward pass; returns the final position's S2 (copied-output)
@@ -224,6 +275,105 @@ impl LanguageModel for InductionTransformer {
 
     fn session(self: std::sync::Arc<Self>) -> Box<dyn DecodeSession> {
         Box::new(TransformerSession::new(self))
+    }
+}
+
+/// Fused multi-session decode: one forward pass computes next-token logits
+/// for a whole group of in-flight [`TransformerSession`]s over this model.
+///
+/// Attention (layers 1–2) is per-lane state and stays per-lane; what fuses
+/// is the vocab-wide unembedding, the dominant per-step cost. The B copied-
+/// output vectors are stacked into a `d_sig x B` block and pushed through
+/// [`Tensor2::matmul_blocked`], whose per-column bitwise equivalence with
+/// [`Tensor2::matvec`] (pinned in lmpeel-tensor) makes each fused lane's
+/// logits byte-identical to its single-lane path — unlike a real GPU batch,
+/// determinism costs nothing here. Unlike a per-lane matvec loop, the GEMM's
+/// inner loop carries `B` independent accumulators, breaking the serial
+/// f32 dependency chain that makes `dot` latency-bound.
+impl BatchDriver for InductionTransformer {
+    fn logits_batch(&self, lanes: &[&dyn DecodeSession], out: &mut [Vec<f32>]) {
+        assert_eq!(lanes.len(), out.len(), "one output buffer per lane");
+        // Phase 1 (&self-pure, no session mutated): each native lane's S2
+        // output vector. Lanes that are foreign session types, sessions of
+        // a *different* model instance, or empty fall back to their own
+        // single-lane path, keeping the call infallible apart from panics.
+        let mut sessions: Vec<(usize, &TransformerSession)> = Vec::new();
+        for (b, lane) in lanes.iter().enumerate() {
+            let native = lane
+                .as_any()
+                .and_then(|a| a.downcast_ref::<TransformerSession>())
+                .filter(|s| s.same_model(self) && !s.tokens().is_empty());
+            match native {
+                Some(s) => sessions.push((b, s)),
+                None => lane.logits_into(&mut out[b]),
+            }
+        }
+        // Phase 1a: score the shared key prefix once for the whole group.
+        // Trie-forked lanes pointer-alias their prompt's sealed s1(/s1b)
+        // pages (copy-on-write), so those rows are scored in one stacked
+        // pass ([`fused_prefix_scores`]) instead of once per lane; each
+        // lane then walks only its divergent tail. Lanes with nothing
+        // aliased (distinct prompts) get an empty prefix — the plain
+        // single-lane key loop.
+        let prefix_rows = match &sessions[..] {
+            [] | [_] => 0,
+            [(_, first), rest @ ..] => {
+                let pages = rest
+                    .iter()
+                    .map(|&(_, s)| first.shared_score_pages(s))
+                    .min()
+                    .unwrap_or(0);
+                sessions
+                    .iter()
+                    .map(|&(_, s)| s.tokens().len())
+                    .min()
+                    .unwrap_or(0)
+                    .min(pages * lmpeel_tensor::ROWS_PER_PAGE)
+            }
+        };
+        let group: Vec<&TransformerSession> = sessions.iter().map(|&(_, s)| s).collect();
+        let prefix = if prefix_rows > 0 {
+            fused_prefix_scores(&group, prefix_rows)
+        } else {
+            vec![Vec::new(); group.len()]
+        };
+        let mut native: Vec<(usize, Vec<f32>)> = Vec::new();
+        for (&(b, s), pre) in sessions.iter().zip(&prefix) {
+            match s.output_vector_with_prefix(pre) {
+                Some(v) => native.push((b, v)),
+                // Unreachable (non-empty is checked above), but fall back
+                // rather than panic the group.
+                None => lanes[b].logits_into(&mut out[b]),
+            }
+        }
+        match &native[..] {
+            [] => {}
+            // A lone native lane takes the exact single-lane unembed.
+            [(b, s2)] => self.unembed_into(s2, &mut out[*b]),
+            // Stack the B output vectors column-wise and unembed them all
+            // in one blocked GEMM; column `col` of the product is bitwise
+            // what `matvec` would have produced for that lane alone, so
+            // the elementwise scale-and-floor reproduces `unembed` byte
+            // for byte.
+            _ => {
+                let width = native.len();
+                let mut block = Tensor2::zeros(self.cfg.d_sig, width);
+                for (col, (_, s2)) in native.iter().enumerate() {
+                    for (r, &x) in s2.iter().enumerate() {
+                        block.row_mut(r)[col] = x;
+                    }
+                }
+                let product = self.signatures.matmul_blocked(&block);
+                for (col, (b, _)) in native.iter().enumerate() {
+                    let lane_out = &mut out[*b];
+                    lane_out.clear();
+                    lane_out.extend(
+                        (0..self.tokenizer.vocab().len())
+                            .map(|r| (self.cfg.kappa * product.row(r)[col]).max(self.cfg.floor)),
+                    );
+                }
+            }
+        }
     }
 }
 

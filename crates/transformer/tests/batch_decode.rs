@@ -1,0 +1,150 @@
+//! Property: batched decode is byte-invisible.
+//!
+//! [`lmpeel_lm::step_batch`] drives any mix of steppers — transformer
+//! lanes fused through the native [`lmpeel_lm::BatchDriver`], induction
+//! lanes on the loop-of-single-steps fallback — and every lane's trace
+//! must be byte-identical to stepping that lane alone, across batch
+//! widths, lane orders, and substrate mixes. This is the determinism
+//! contract the serve scheduler's fused Step phase stands on.
+
+use lmpeel_lm::{
+    step_batch, GenerateSpec, GenerationStepper, GenerationTrace, InductionLm, LanguageModel,
+};
+use lmpeel_transformer::InductionTransformer;
+use proptest::prelude::*;
+use std::sync::Arc;
+
+const PROMPTS: [&str; 4] = [
+    " loop tile packing array loop",
+    " outer middle inner outer middle",
+    "Hyperparameter configuration: outer_loop_tiling_factor is 80\nPerformance: 0.0022155\n\
+     Hyperparameter configuration: outer_loop_tiling_factor is 80\nPerformance: ",
+    " problem considers optimization problem",
+];
+
+/// One lane: which substrate, which prompt, which sampling seed.
+#[derive(Debug, Clone, Copy)]
+struct Lane {
+    transformer: bool,
+    prompt: usize,
+    seed: u64,
+}
+
+/// The vendored proptest has no tuple strategies, so a lane is packed
+/// into one byte: bit 4 = substrate, bits 2–3 = prompt, bits 0–1 = seed.
+fn arb_lanes() -> impl Strategy<Value = Vec<u8>> {
+    proptest::collection::vec(0u8..32, 1..8)
+}
+
+fn spec(seed: u64) -> GenerateSpec {
+    GenerateSpec::builder()
+        .max_tokens(6)
+        .seed(seed)
+        .stop_tokens(vec![])
+        .build()
+        .unwrap()
+}
+
+fn stepper(
+    transformer: &Arc<InductionTransformer>,
+    induction: &Arc<InductionLm>,
+    lane: Lane,
+) -> GenerationStepper {
+    let (mut session, tokenizer) = if lane.transformer {
+        (transformer.clone().session(), transformer.tokenizer())
+    } else {
+        (induction.clone().session(), induction.tokenizer())
+    };
+    session.extend(&tokenizer.encode(PROMPTS[lane.prompt]));
+    GenerationStepper::new(session, spec(lane.seed)).unwrap()
+}
+
+fn run_solo(
+    transformer: &Arc<InductionTransformer>,
+    induction: &Arc<InductionLm>,
+    lane: Lane,
+) -> GenerationTrace {
+    let mut s = stepper(transformer, induction, lane);
+    while s.step().unwrap() {}
+    s.into_trace()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    // Any lane mix, any order, any width: `step_batch` traces equal the
+    // solo traces byte for byte.
+    #[test]
+    fn step_batch_is_byte_identical_to_solo_stepping(raw in arb_lanes()) {
+        let transformer = Arc::new(InductionTransformer::paper());
+        let induction = Arc::new(InductionLm::paper(0));
+        let lanes: Vec<Lane> = raw
+            .iter()
+            .map(|&b| Lane {
+                transformer: b & 0x10 != 0,
+                prompt: ((b >> 2) & 0x3) as usize,
+                seed: (b & 0x3) as u64,
+            })
+            .collect();
+
+        let mut batched: Vec<GenerationStepper> = lanes
+            .iter()
+            .map(|&l| stepper(&transformer, &induction, l))
+            .collect();
+        {
+            let mut refs: Vec<&mut GenerationStepper> = batched.iter_mut().collect();
+            let mut rounds = 0;
+            while refs.iter().any(|s| !s.is_finished()) {
+                for r in step_batch(&mut refs) {
+                    r.unwrap();
+                }
+                rounds += 1;
+                prop_assert!(rounds <= 16, "batch failed to converge");
+            }
+        }
+
+        for (i, (stepper, &lane)) in batched.into_iter().zip(&lanes).enumerate() {
+            let solo = run_solo(&transformer, &induction, lane);
+            prop_assert_eq!(
+                stepper.into_trace(),
+                solo,
+                "lane {} (transformer={}, prompt {}, seed {}) diverged under batching",
+                i,
+                lane.transformer,
+                lane.prompt,
+                lane.seed
+            );
+        }
+    }
+}
+
+/// Eight same-model transformer lanes with distinct seeds: the widest
+/// all-native fused group, pinned deterministically (no proptest shrink
+/// noise) against solo decoding.
+#[test]
+fn wide_all_native_group_matches_solo() {
+    let transformer = Arc::new(InductionTransformer::paper());
+    let induction = Arc::new(InductionLm::paper(0));
+    let lanes: Vec<Lane> = (0..8)
+        .map(|seed| Lane {
+            transformer: true,
+            prompt: (seed % PROMPTS.len() as u64) as usize,
+            seed,
+        })
+        .collect();
+    let mut batched: Vec<GenerationStepper> = lanes
+        .iter()
+        .map(|&l| stepper(&transformer, &induction, l))
+        .collect();
+    {
+        let mut refs: Vec<&mut GenerationStepper> = batched.iter_mut().collect();
+        while refs.iter().any(|s| !s.is_finished()) {
+            for r in step_batch(&mut refs) {
+                r.unwrap();
+            }
+        }
+    }
+    for (stepper, &lane) in batched.into_iter().zip(&lanes) {
+        assert_eq!(stepper.into_trace(), run_solo(&transformer, &induction, lane));
+    }
+}
