@@ -6,7 +6,8 @@
 //! Pass `--journal <path>` (or `--resume <path>`) to commit each panel's
 //! fit to a write-ahead journal, making the run resumable after a kill.
 
-use lmpeel_bench::runs::{arg_flag, open_fit_journal, out_dir, table1_fit_at, write_golden};
+use lmpeel_bench::cli::arg_flag;
+use lmpeel_bench::runs::{open_fit_journal, out_dir, table1_fit_at, write_golden};
 use lmpeel_configspace::ArraySize;
 use lmpeel_perfdata::DatasetBundle;
 use lmpeel_stats::RegressionReport;

@@ -10,7 +10,8 @@
 //! generation; a killed run resumed against the same journal produces a
 //! byte-identical CSV.
 
-use lmpeel_bench::runs::{journal_flag, out_dir, run_plan_at, write_golden};
+use lmpeel_bench::cli::journal_flag;
+use lmpeel_bench::runs::{out_dir, run_plan_at, write_golden};
 use lmpeel_configspace::ArraySize;
 use lmpeel_core::decoding::value_distribution;
 use lmpeel_core::experiment::ExperimentPlan;

@@ -8,7 +8,8 @@
 //! At the extremely tight 1% relative error bound, merely 3% of LLM values
 //! qualify as 'needles' versus 6% for XGBoost."
 
-use lmpeel_bench::runs::{arg_flag, paper_records, table1_fit};
+use lmpeel_bench::cli::arg_flag;
+use lmpeel_bench::runs::{paper_records, table1_fit};
 use lmpeel_bench::TextTable;
 use lmpeel_core::needles::llm_needles;
 use lmpeel_perfdata::DatasetBundle;

@@ -7,7 +7,8 @@
 //! surrogate and prints per-setting metrics plus the §IV-A aggregate
 //! quantities next to the paper's values.
 
-use lmpeel_bench::runs::{journal_flag, paper_records_at};
+use lmpeel_bench::cli::journal_flag;
+use lmpeel_bench::runs::paper_records_at;
 use lmpeel_bench::TextTable;
 use lmpeel_core::experiment::{overall_report, setting_reports};
 use lmpeel_perfdata::DatasetBundle;

@@ -5,7 +5,8 @@
 //! with `--iters N`) and scores the winner on the held-out 20% test split.
 //! Prints measured values next to the paper's.
 
-use lmpeel_bench::runs::{arg_flag, open_fit_journal, table1_fit_at, TABLE1_PAPER};
+use lmpeel_bench::cli::arg_flag;
+use lmpeel_bench::runs::{open_fit_journal, table1_fit_at, TABLE1_PAPER};
 use lmpeel_bench::TextTable;
 use lmpeel_perfdata::DatasetBundle;
 use lmpeel_stats::RegressionReport;

@@ -1,7 +1,8 @@
 //! Table II: variability in the number of selectable tokens per generated
 //! value position, across all §IV-A experiments.
 
-use lmpeel_bench::runs::{journal_flag, paper_records_at};
+use lmpeel_bench::cli::journal_flag;
+use lmpeel_bench::runs::paper_records_at;
 use lmpeel_bench::TextTable;
 use lmpeel_core::decoding::value_span;
 use lmpeel_core::tokenstats::TokenStatsTable;

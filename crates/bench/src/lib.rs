@@ -3,11 +3,12 @@
 //! One binary per paper artifact lives in `src/bin/` (see DESIGN.md's
 //! per-experiment index); criterion micro-benches live in `benches/`. This
 //! library holds the bits they share: aligned text tables, CSV emission,
-//! and the standard experiment-record cache.
+//! the shared CLI-flag dialect, and the standard experiment-record cache.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cli;
 pub mod table;
 
 pub use table::TextTable;

@@ -8,10 +8,8 @@ use lmpeel_gbdt::{random_search, SearchResult, SearchSpace};
 use lmpeel_lm::InductionLm;
 use lmpeel_perfdata::{DatasetBundle, PerfDataset};
 use lmpeel_recover::wire::{self, Reader};
-use lmpeel_recover::{
-    atomic_write, fnv1a64, CrashAfter, CrashMode, JournalRecord, Recovery, RunJournal,
-};
-use std::path::{Path, PathBuf};
+use lmpeel_recover::{atomic_write, fnv1a64, JournalRecord, Recovery, RunJournal};
+use std::path::Path;
 
 /// Run the paper's full experiment plan (285 generations) against the
 /// calibrated induction surrogate.
@@ -139,45 +137,9 @@ pub fn out_dir() -> std::path::PathBuf {
     dir
 }
 
-/// Parse `--iters N`-style integer flags from argv, with a default.
-pub fn arg_flag(name: &str, default: usize) -> usize {
-    let args: Vec<String> = std::env::args().collect();
-    args.iter()
-        .position(|a| a == name)
-        .and_then(|i| args.get(i + 1))
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(default)
-}
-
-/// The write-ahead journal path, if the caller asked for a resumable run:
-/// `--journal <path>` to start (or continue) journaling, `--resume <path>`
-/// as the intention-revealing synonym for picking up a killed run.
-pub fn journal_flag() -> Option<PathBuf> {
-    let args: Vec<String> = std::env::args().collect();
-    ["--journal", "--resume"].iter().find_map(|name| {
-        args.iter()
-            .position(|a| a == name)
-            .and_then(|i| args.get(i + 1))
-            .map(PathBuf::from)
-    })
-}
-
-/// `--force`: allow a resumed run to replace a golden artifact that
-/// differs from what it regenerated.
-pub fn force_flag() -> bool {
-    std::env::args().any(|a| a == "--force")
-}
-
-/// The CI crash smoke's kill switch: `LMPEEL_CRASH_AFTER=<k>` lets `k`
-/// more commits land durably, then exits the process (code 17) at the
-/// next commit boundary — before anything of that record hits the disk.
-pub fn crash_from_env() -> Option<CrashAfter> {
-    let commits: u32 = std::env::var("LMPEEL_CRASH_AFTER").ok()?.parse().ok()?;
-    Some(CrashAfter {
-        commits,
-        mode: CrashMode::Exit(17),
-    })
-}
+// The CLI-flag parsers moved to [`crate::cli`]; re-exported here so the
+// long-standing `runs::journal_flag`-style paths keep working.
+pub use crate::cli::{arg_flag, crash_from_env, force_flag, journal_flag};
 
 /// Durably publish a golden artifact (temp file + fsync + rename — a
 /// reader never observes a half-written golden).

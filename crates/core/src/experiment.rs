@@ -16,7 +16,7 @@ use lmpeel_configspace::ArraySize;
 use lmpeel_lm::{generate, GenerateSpec, GenerationTrace, LanguageModel, Sampler};
 use lmpeel_perfdata::{curated_icl_replicas, icl_replicas, DatasetBundle, IclSet};
 use lmpeel_recover::{JournalError, RunJournal};
-use lmpeel_serve::{GenerateRequest, InferenceService, RequestError};
+use lmpeel_serve::prelude::*;
 use lmpeel_stats::{RegressionReport, Summary, Welford};
 use lmpeel_tokenizer::EOS;
 use std::ops::Range;
@@ -284,14 +284,16 @@ where
                 .count()
         });
     // A fully journaled grid needs no service (and an empty queue would be
-    // rejected by the builder).
-    let service = (pending > 0).then(|| {
+    // rejected by the builder). `build_service` honours `LMPEEL_SHARDS`:
+    // the grid runs unchanged against a sharded service because every
+    // downstream call goes through the `LmService` trait.
+    let service: Option<Box<dyn LmService>> = (pending > 0).then(|| {
         InferenceService::builder()
             .model("default", base_model.clone())
             // Room for the remaining grid: submission never blocks, the
             // scheduler drains at its own pace.
             .queue_capacity(pending)
-            .build()
+            .build_service()
     });
 
     // Submit every non-journaled cell before waiting on anything so the

@@ -16,9 +16,9 @@
 
 use crate::prompt::{problem_description, SYSTEM_INSTRUCTIONS};
 use lmpeel_configspace::{text, ArraySize, Config, ConfigSpace};
-use lmpeel_lm::{GenerateSpec, LanguageModel, Sampler};
+use lmpeel_lm::{LanguageModel, Sampler};
 use lmpeel_perfdata::PerfDataset;
-use lmpeel_serve::{GenerateRequest, InferenceService};
+use lmpeel_serve::prelude::*;
 use lmpeel_stats::{seeded_rng, SeedDomain};
 use lmpeel_tokenizer::{BOS, EOS, ROLE_ASSISTANT, ROLE_SYSTEM, ROLE_USER};
 use std::sync::Arc;
@@ -152,24 +152,27 @@ pub fn predict_classes<M: LanguageModel>(
     let ids = chat_tokens(model.as_ref(), &user, "Performance bucket: ");
     let t = model.tokenizer();
     let stop = vec![t.vocab().token_id("\n").expect("newline"), t.special(EOS)];
-    let service = InferenceService::builder()
+    // `build_service` keeps this helper shard-transparent: under
+    // `LMPEEL_SHARDS` all seeds still colocate (they share one prompt, and
+    // routing is by prompt prefix), so the prefill is still paid once.
+    let service: Box<dyn LmService> = InferenceService::builder()
         .model("llambo", model.clone())
         .queue_capacity(seeds.len().max(1))
         .max_batch(seeds.len().max(1))
-        .build();
+        .build_service();
     let handles: Vec<_> = seeds
         .iter()
         .map(|&seed| {
-            let spec = GenerateSpec::builder()
+            let request = GenerateRequest::builder("llambo", ids.clone())
                 .sampler(Sampler::paper())
                 .max_tokens(4)
                 .stop_tokens(stop.clone())
                 .trace_min_prob(1e-4)
                 .seed(seed)
                 .build()
-                .expect("valid classification spec");
+                .expect("valid classification request");
             service
-                .submit(GenerateRequest::new("llambo", ids.clone(), spec))
+                .submit(request)
                 .expect("service accepts while running")
         })
         .collect();
@@ -245,24 +248,24 @@ pub fn propose_candidates<M: LanguageModel>(
     let ids = chat_tokens(model.as_ref(), &user, "Hyperparameter configuration: ");
     let t = model.tokenizer();
     let stop = vec![t.vocab().token_id("\n").expect("newline"), t.special(EOS)];
-    let service = InferenceService::builder()
+    let service: Box<dyn LmService> = InferenceService::builder()
         .model("llambo", model.clone())
         .queue_capacity(seeds.len().max(1))
         .max_batch(seeds.len().max(1))
-        .build();
+        .build_service();
     let handles: Vec<_> = seeds
         .iter()
         .map(|&seed| {
-            let spec = GenerateSpec::builder()
+            let request = GenerateRequest::builder("llambo", ids.clone())
                 .sampler(Sampler::paper())
                 .max_tokens(96)
                 .stop_tokens(stop.clone())
                 .trace_min_prob(1e-4)
                 .seed(seed)
                 .build()
-                .expect("valid candidate-sampling spec");
+                .expect("valid candidate-sampling request");
             service
-                .submit(GenerateRequest::new("llambo", ids.clone(), spec))
+                .submit(request)
                 .expect("service accepts while running")
         })
         .collect();

@@ -1,0 +1,852 @@
+//! Line-protocol front-end: length-prefixed frames over TCP.
+//!
+//! The service API ([`LmService`]) is in-process; this module puts a wire
+//! in front of it so load generators and out-of-process callers can drive
+//! a service (single-shard or sharded — the front-end only sees the
+//! trait). The protocol is deliberately minimal:
+//!
+//! * every frame is `u32-LE length` followed by that many body bytes;
+//! * a request body carries a caller-chosen `u64` correlation id, the
+//!   substrate name, the prompt token ids and the decoding knobs;
+//! * a response body carries the same id plus either the generated ids
+//!   with prefix-cache accounting, or an error code and message.
+//!
+//! Responses are written **as requests complete**, not in submission
+//! order — the id is how callers re-associate them. That keeps the wire
+//! open-loop: a client may pipeline any number of requests, and a full
+//! service queue sheds with [`SHED_QUEUE_FULL`] instead of stalling the
+//! connection (admission control is the service's backpressure policy,
+//! surfaced as a response, never as TCP pushback on unrelated requests).
+//!
+//! Per connection the front-end runs a reader thread (decode, submit,
+//! hand the in-flight handle over) and a writer thread (poll in-flight
+//! handles, encode completions). Neither holds the other's lock, so a
+//! slow decode never head-of-line-blocks frame ingestion.
+
+use crate::request::{Deadline, GenerateRequest, GenerateResponse, RequestError};
+use crate::service::LmService;
+use crate::sync::lock_unpoisoned;
+use lmpeel_tokenizer::TokenId;
+use std::io::{self, Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc;
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// The one wall-clock read in the front-end (allowlisted in `lint.toml`):
+/// stamps request arrival so the served-latency ledger in
+/// [`FrontendStats`] can be computed at response time.
+fn arrival_clock() -> Instant {
+    Instant::now()
+}
+
+/// Frames larger than this are a protocol violation and drop the
+/// connection (16 MiB comfortably holds the longest ICL prompt).
+pub const MAX_FRAME_LEN: usize = 16 << 20;
+
+/// Response code: completed successfully.
+pub const CODE_OK: u8 = 0;
+/// Response code: shed by admission control (the service queue was full
+/// under the reject policy). Open-loop clients count these as shed load,
+/// not failures.
+pub const SHED_QUEUE_FULL: u8 = 1;
+/// Response code: the service is shutting down.
+pub const CODE_SHUTDOWN: u8 = 2;
+/// Response code: unknown substrate name.
+pub const CODE_UNKNOWN_SUBSTRATE: u8 = 3;
+/// Response code: the substrate cannot re-key to the requested model seed.
+pub const CODE_REKEY_UNSUPPORTED: u8 = 4;
+/// Response code: the substrate is quarantined.
+pub const CODE_QUARANTINED: u8 = 5;
+/// Response code: the request's deadline expired before completion.
+pub const CODE_DEADLINE: u8 = 6;
+/// Response code: the request was cancelled.
+pub const CODE_CANCELLED: u8 = 7;
+/// Response code: the substrate panicked while serving the request.
+pub const CODE_PANICKED: u8 = 8;
+/// Response code: the decode itself failed (invalid spec, ...).
+pub const CODE_LM: u8 = 9;
+
+const OP_REQUEST: u8 = 1;
+const OP_RESPONSE: u8 = 2;
+
+const FLAG_MODEL_SEED: u8 = 1;
+const FLAG_STEP_BUDGET: u8 = 2;
+const FLAG_WALL_MS: u8 = 4;
+
+/// A request as it travels the wire. Decoding knobs are the subset that
+/// crosses process boundaries (the sampler stays at the service's
+/// builder default — remote callers tune length, seed, stops and the
+/// trace floor).
+#[derive(Debug, Clone, PartialEq)]
+pub struct WireRequest {
+    /// Caller-chosen correlation id, echoed verbatim in the response.
+    pub id: u64,
+    /// Registered substrate name.
+    pub substrate: String,
+    /// Prompt token ids.
+    pub prompt: Vec<TokenId>,
+    /// Generation length cap.
+    pub max_tokens: u32,
+    /// Sampling seed.
+    pub seed: u64,
+    /// Trace-recording probability floor.
+    pub trace_min_prob: f32,
+    /// Stop-token set.
+    pub stop_tokens: Vec<TokenId>,
+    /// Optional model re-key seed.
+    pub model_seed: Option<u64>,
+    /// Optional logical step budget.
+    pub step_budget: Option<u64>,
+    /// Optional wall-clock deadline in milliseconds from submit.
+    pub wall_ms: Option<u64>,
+}
+
+impl WireRequest {
+    /// Minimal request: paper-default knobs except the length cap.
+    pub fn new(id: u64, substrate: impl Into<String>, prompt: Vec<TokenId>, max_tokens: u32) -> Self {
+        Self {
+            id,
+            substrate: substrate.into(),
+            prompt,
+            max_tokens,
+            seed: 0,
+            trace_min_prob: 1.0,
+            stop_tokens: Vec::new(),
+            model_seed: None,
+            step_budget: None,
+            wall_ms: None,
+        }
+    }
+
+    /// Serialize to a frame body.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut buf = Vec::with_capacity(64 + self.prompt.len() * 4);
+        buf.push(OP_REQUEST);
+        put_u64(&mut buf, self.id);
+        put_str(&mut buf, &self.substrate);
+        put_tokens(&mut buf, &self.prompt);
+        put_u32(&mut buf, self.max_tokens);
+        put_u64(&mut buf, self.seed);
+        buf.extend_from_slice(&self.trace_min_prob.to_le_bytes());
+        put_tokens(&mut buf, &self.stop_tokens);
+        let mut flags = 0u8;
+        if self.model_seed.is_some() {
+            flags |= FLAG_MODEL_SEED;
+        }
+        if self.step_budget.is_some() {
+            flags |= FLAG_STEP_BUDGET;
+        }
+        if self.wall_ms.is_some() {
+            flags |= FLAG_WALL_MS;
+        }
+        buf.push(flags);
+        for opt in [self.model_seed, self.step_budget, self.wall_ms].into_iter().flatten() {
+            put_u64(&mut buf, opt);
+        }
+        buf
+    }
+
+    /// Parse a frame body.
+    pub fn decode(body: &[u8]) -> Result<Self, WireError> {
+        let mut c = Cursor::new(body);
+        let op = c.u8()?;
+        if op != OP_REQUEST {
+            return Err(WireError::BadOpcode(op));
+        }
+        let id = c.u64()?;
+        let substrate = c.str()?;
+        let prompt = c.tokens()?;
+        let max_tokens = c.u32()?;
+        let seed = c.u64()?;
+        let trace_min_prob = c.f32()?;
+        let stop_tokens = c.tokens()?;
+        let flags = c.u8()?;
+        let model_seed = (flags & FLAG_MODEL_SEED != 0).then(|| c.u64()).transpose()?;
+        let step_budget = (flags & FLAG_STEP_BUDGET != 0).then(|| c.u64()).transpose()?;
+        let wall_ms = (flags & FLAG_WALL_MS != 0).then(|| c.u64()).transpose()?;
+        c.finish()?;
+        Ok(Self {
+            id,
+            substrate,
+            prompt,
+            max_tokens,
+            seed,
+            trace_min_prob,
+            stop_tokens,
+            model_seed,
+            step_budget,
+            wall_ms,
+        })
+    }
+
+    /// Lower to a service request (spec validation happens here, so a bad
+    /// wire spec becomes a [`CODE_LM`] response, not a dropped frame).
+    pub fn into_request(self) -> Result<GenerateRequest, RequestError> {
+        let mut b = GenerateRequest::builder(self.substrate, self.prompt)
+            .max_tokens(self.max_tokens as usize)
+            .seed(self.seed)
+            .trace_min_prob(self.trace_min_prob)
+            .stop_tokens(self.stop_tokens);
+        if let Some(seed) = self.model_seed {
+            b = b.model_seed(seed);
+        }
+        let mut deadline = Deadline::none();
+        deadline.max_steps = self.step_budget;
+        deadline.wall = self.wall_ms.map(Duration::from_millis);
+        b.deadline(deadline).build()
+    }
+}
+
+/// A response as it travels the wire.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WireResponse {
+    /// The request's correlation id, echoed.
+    pub id: u64,
+    /// Outcome: generated ids or an error code.
+    pub body: WireResult,
+}
+
+/// Response payload variants.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WireResult {
+    /// Generation completed.
+    Ok {
+        /// Prompt tokens recovered from the prefix cache.
+        reused: u32,
+        /// Prompt tokens prefilled for this request.
+        prefilled: u32,
+        /// The sampled token ids, in order.
+        tokens: Vec<TokenId>,
+    },
+    /// Generation failed or was shed.
+    Err {
+        /// One of the `CODE_*` / [`SHED_QUEUE_FULL`] constants.
+        code: u8,
+        /// Human-readable detail (the service error's display form).
+        message: String,
+    },
+}
+
+impl WireResponse {
+    /// Response for a completed generation.
+    pub fn ok(id: u64, response: &GenerateResponse) -> Self {
+        Self {
+            id,
+            body: WireResult::Ok {
+                reused: response.reused_tokens as u32,
+                prefilled: response.prefilled_tokens as u32,
+                tokens: response.trace.generated_ids(),
+            },
+        }
+    }
+
+    /// Response for a failed or shed request.
+    pub fn err(id: u64, e: &RequestError) -> Self {
+        Self {
+            id,
+            body: WireResult::Err {
+                code: error_code(e),
+                message: e.to_string(),
+            },
+        }
+    }
+
+    /// True when this response is an admission-control shed.
+    pub fn is_shed(&self) -> bool {
+        matches!(self.body, WireResult::Err { code, .. } if code == SHED_QUEUE_FULL)
+    }
+
+    /// Serialize to a frame body.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut buf = Vec::with_capacity(32);
+        buf.push(OP_RESPONSE);
+        put_u64(&mut buf, self.id);
+        match &self.body {
+            WireResult::Ok {
+                reused,
+                prefilled,
+                tokens,
+            } => {
+                buf.push(CODE_OK);
+                put_u32(&mut buf, *reused);
+                put_u32(&mut buf, *prefilled);
+                put_tokens(&mut buf, tokens);
+            }
+            WireResult::Err { code, message } => {
+                buf.push(*code);
+                put_str(&mut buf, message);
+            }
+        }
+        buf
+    }
+
+    /// Parse a frame body.
+    pub fn decode(body: &[u8]) -> Result<Self, WireError> {
+        let mut c = Cursor::new(body);
+        let op = c.u8()?;
+        if op != OP_RESPONSE {
+            return Err(WireError::BadOpcode(op));
+        }
+        let id = c.u64()?;
+        let code = c.u8()?;
+        let body = if code == CODE_OK {
+            WireResult::Ok {
+                reused: c.u32()?,
+                prefilled: c.u32()?,
+                tokens: c.tokens()?,
+            }
+        } else {
+            WireResult::Err {
+                code,
+                message: c.str()?,
+            }
+        };
+        c.finish()?;
+        Ok(Self { id, body })
+    }
+}
+
+/// Map a service error to its wire code.
+fn error_code(e: &RequestError) -> u8 {
+    match e {
+        RequestError::QueueFull => SHED_QUEUE_FULL,
+        RequestError::ShutDown => CODE_SHUTDOWN,
+        RequestError::UnknownSubstrate(_) => CODE_UNKNOWN_SUBSTRATE,
+        RequestError::RekeyUnsupported(_) => CODE_REKEY_UNSUPPORTED,
+        RequestError::SubstrateQuarantined(_) => CODE_QUARANTINED,
+        RequestError::DeadlineExceeded => CODE_DEADLINE,
+        RequestError::Cancelled => CODE_CANCELLED,
+        RequestError::Panicked(_) => CODE_PANICKED,
+        RequestError::Lm(_) => CODE_LM,
+    }
+}
+
+/// Malformed wire data. Always fatal for the connection: the stream
+/// offset is unrecoverable once a frame fails to parse.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// Body ended before a field completed.
+    Truncated,
+    /// First body byte was not a known opcode.
+    BadOpcode(u8),
+    /// A frame declared a length above [`MAX_FRAME_LEN`].
+    Oversize(usize),
+    /// A string field was not UTF-8.
+    BadUtf8,
+    /// Bytes remained after the last field.
+    TrailingBytes(usize),
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::Truncated => write!(f, "frame body truncated"),
+            WireError::BadOpcode(op) => write!(f, "unknown opcode {op}"),
+            WireError::Oversize(len) => {
+                write!(f, "frame length {len} exceeds the {MAX_FRAME_LEN}-byte cap")
+            }
+            WireError::BadUtf8 => write!(f, "string field is not UTF-8"),
+            WireError::TrailingBytes(n) => write!(f, "{n} trailing bytes after the last field"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+fn put_u32(buf: &mut Vec<u8>, v: u32) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(buf: &mut Vec<u8>, v: u64) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_str(buf: &mut Vec<u8>, s: &str) {
+    put_u32(buf, s.len() as u32);
+    buf.extend_from_slice(s.as_bytes());
+}
+
+fn put_tokens(buf: &mut Vec<u8>, tokens: &[TokenId]) {
+    put_u32(buf, tokens.len() as u32);
+    for &t in tokens {
+        put_u32(buf, t);
+    }
+}
+
+struct Cursor<'a> {
+    body: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(body: &'a [u8]) -> Self {
+        Self { body, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        let end = self.pos.checked_add(n).ok_or(WireError::Truncated)?;
+        if end > self.body.len() {
+            return Err(WireError::Truncated);
+        }
+        let slice = &self.body[self.pos..end];
+        self.pos = end;
+        Ok(slice)
+    }
+
+    fn u8(&mut self) -> Result<u8, WireError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32, WireError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4 bytes")))
+    }
+
+    fn u64(&mut self) -> Result<u64, WireError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8 bytes")))
+    }
+
+    fn f32(&mut self) -> Result<f32, WireError> {
+        Ok(f32::from_le_bytes(self.take(4)?.try_into().expect("4 bytes")))
+    }
+
+    fn str(&mut self) -> Result<String, WireError> {
+        let len = self.u32()? as usize;
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| WireError::BadUtf8)
+    }
+
+    fn tokens(&mut self) -> Result<Vec<TokenId>, WireError> {
+        let count = self.u32()? as usize;
+        if count > MAX_FRAME_LEN / 4 {
+            return Err(WireError::Oversize(count * 4));
+        }
+        let mut out = Vec::with_capacity(count.min(1 << 16));
+        for _ in 0..count {
+            out.push(self.u32()?);
+        }
+        Ok(out)
+    }
+
+    fn finish(&self) -> Result<(), WireError> {
+        let left = self.body.len() - self.pos;
+        if left == 0 {
+            Ok(())
+        } else {
+            Err(WireError::TrailingBytes(left))
+        }
+    }
+}
+
+/// Write one length-prefixed frame.
+pub fn write_frame(w: &mut impl Write, body: &[u8]) -> io::Result<()> {
+    w.write_all(&(body.len() as u32).to_le_bytes())?;
+    w.write_all(body)?;
+    w.flush()
+}
+
+/// Read one length-prefixed frame. `Err` on EOF mid-frame, oversize
+/// declarations, or transport errors.
+pub fn read_frame(r: &mut impl Read) -> io::Result<Vec<u8>> {
+    let mut len_bytes = [0u8; 4];
+    r.read_exact(&mut len_bytes)?;
+    let len = u32::from_le_bytes(len_bytes) as usize;
+    if len > MAX_FRAME_LEN {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            WireError::Oversize(len).to_string(),
+        ));
+    }
+    let mut body = vec![0u8; len];
+    r.read_exact(&mut body)?;
+    Ok(body)
+}
+
+/// Front-end throughput/latency counters (monotonic since bind).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FrontendStats {
+    /// Responses written, successes and errors alike.
+    pub responses: u64,
+    /// Responses that were admission-control sheds ([`SHED_QUEUE_FULL`]).
+    pub shed: u64,
+    /// Total served latency (arrival to response write) in microseconds,
+    /// summed over all responses; divide by `responses` for the mean.
+    pub latency_micros: u64,
+}
+
+#[derive(Default)]
+struct Counters {
+    responses: AtomicU64,
+    shed: AtomicU64,
+    latency_micros: AtomicU64,
+}
+
+/// What the reader hands the writer for one request.
+enum Inflight {
+    /// Submitted; the writer polls the handle.
+    Pending {
+        id: u64,
+        handle: crate::service::ResponseHandle,
+        arrived: Instant,
+    },
+    /// Failed before or at submit; respond immediately.
+    Done {
+        id: u64,
+        error: RequestError,
+        arrived: Instant,
+    },
+}
+
+/// Live connections: the acceptor registers each stream (for severing on
+/// shutdown) alongside its reader-thread handle (for joining).
+type ConnRegistry = Arc<Mutex<Vec<(TcpStream, JoinHandle<()>)>>>;
+
+/// A TCP front-end serving one [`LmService`].
+///
+/// Bind on an ephemeral port, connect with [`FrontendClient`] (or any
+/// implementation of the frame protocol), and [`Frontend::shutdown`] when
+/// done — the service itself stays owned by the caller and outlives the
+/// front-end.
+pub struct Frontend {
+    local_addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    counters: Arc<Counters>,
+    acceptor: Option<JoinHandle<()>>,
+    conns: ConnRegistry,
+}
+
+impl Frontend {
+    /// Bind `addr` (e.g. `"127.0.0.1:0"` for an ephemeral port) and start
+    /// accepting connections, each served against `service`.
+    pub fn bind(service: Arc<dyn LmService>, addr: &str) -> io::Result<Frontend> {
+        let listener = TcpListener::bind(addr)?;
+        let local_addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let counters = Arc::new(Counters::default());
+        let conns: ConnRegistry = Arc::default();
+        let acceptor = {
+            let stop = Arc::clone(&stop);
+            let counters = Arc::clone(&counters);
+            let conns = Arc::clone(&conns);
+            std::thread::spawn(move || {
+                for stream in listener.incoming() {
+                    if stop.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    let Ok(stream) = stream else { continue };
+                    let service = Arc::clone(&service);
+                    let counters = Arc::clone(&counters);
+                    let Ok(registered) = stream.try_clone() else {
+                        continue;
+                    };
+                    let handler =
+                        std::thread::spawn(move || serve_connection(stream, service, counters));
+                    lock_unpoisoned(&conns).push((registered, handler));
+                }
+            })
+        };
+        Ok(Frontend {
+            local_addr,
+            stop,
+            counters,
+            acceptor: Some(acceptor),
+            conns,
+        })
+    }
+
+    /// The bound address (the real port when bound with port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Snapshot of the served-traffic counters.
+    pub fn stats(&self) -> FrontendStats {
+        FrontendStats {
+            responses: self.counters.responses.load(Ordering::SeqCst),
+            shed: self.counters.shed.load(Ordering::SeqCst),
+            latency_micros: self.counters.latency_micros.load(Ordering::SeqCst),
+        }
+    }
+
+    /// Stop accepting, sever live connections, and join every thread.
+    /// In-flight requests already handed to the service still complete
+    /// inside it; their responses are simply no longer deliverable.
+    pub fn shutdown(mut self) -> FrontendStats {
+        self.stop_and_join();
+        self.stats()
+    }
+
+    fn stop_and_join(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        // Wake the acceptor out of `accept()` with a no-op connection.
+        let _ = TcpStream::connect(self.local_addr);
+        if let Some(acceptor) = self.acceptor.take() {
+            let _ = acceptor.join();
+        }
+        let conns = std::mem::take(&mut *lock_unpoisoned(&self.conns));
+        for (stream, handler) in conns {
+            let _ = stream.shutdown(Shutdown::Both);
+            let _ = handler.join();
+        }
+    }
+}
+
+impl Drop for Frontend {
+    fn drop(&mut self) {
+        if self.acceptor.is_some() {
+            self.stop_and_join();
+        }
+    }
+}
+
+/// Reader half of one connection: decode frames, submit, hand off to the
+/// writer. Returns (ending the connection) on EOF, transport errors, or
+/// the first malformed frame.
+fn serve_connection(mut stream: TcpStream, service: Arc<dyn LmService>, counters: Arc<Counters>) {
+    let Ok(write_half) = stream.try_clone() else {
+        return;
+    };
+    let (tx, rx) = mpsc::channel::<Inflight>();
+    let writer = std::thread::spawn(move || write_responses(write_half, rx, counters));
+    while let Ok(body) = read_frame(&mut stream) {
+        let Ok(wire) = WireRequest::decode(&body) else {
+            break;
+        };
+        let id = wire.id;
+        let arrived = arrival_clock();
+        let handed_off = match wire.into_request().and_then(|r| service.submit(r)) {
+            Ok(handle) => tx.send(Inflight::Pending {
+                id,
+                handle,
+                arrived,
+            }),
+            Err(error) => tx.send(Inflight::Done { id, error, arrived }),
+        };
+        if handed_off.is_err() {
+            break;
+        }
+    }
+    drop(tx);
+    let _ = writer.join();
+}
+
+/// Writer half: poll in-flight handles, write completions as they land.
+fn write_responses(
+    mut stream: TcpStream,
+    rx: mpsc::Receiver<Inflight>,
+    counters: Arc<Counters>,
+) {
+    let mut pending: Vec<(u64, crate::service::ResponseHandle, Instant)> = Vec::new();
+    let mut open = true;
+    while open || !pending.is_empty() {
+        // Take new work: block when idle, peek briefly when polling.
+        let msg = if pending.is_empty() {
+            rx.recv().map_err(|_| mpsc::RecvTimeoutError::Disconnected)
+        } else {
+            rx.recv_timeout(Duration::from_micros(500))
+        };
+        match msg {
+            Ok(Inflight::Pending {
+                id,
+                handle,
+                arrived,
+            }) => pending.push((id, handle, arrived)),
+            Ok(Inflight::Done { id, error, arrived }) => {
+                if write_response(&mut stream, &WireResponse::err(id, &error), arrived, &counters)
+                    .is_err()
+                {
+                    return;
+                }
+            }
+            Err(mpsc::RecvTimeoutError::Timeout) => {}
+            Err(mpsc::RecvTimeoutError::Disconnected) => open = false,
+        }
+        let mut i = 0;
+        while i < pending.len() {
+            match pending[i].1.try_wait() {
+                Some(result) => {
+                    let (id, _, arrived) = pending.swap_remove(i);
+                    let wire = match &result {
+                        Ok(response) => WireResponse::ok(id, response),
+                        Err(error) => WireResponse::err(id, error),
+                    };
+                    if write_response(&mut stream, &wire, arrived, &counters).is_err() {
+                        return;
+                    }
+                }
+                None => i += 1,
+            }
+        }
+    }
+}
+
+fn write_response(
+    stream: &mut TcpStream,
+    wire: &WireResponse,
+    arrived: Instant,
+    counters: &Counters,
+) -> io::Result<()> {
+    write_frame(stream, &wire.encode())?;
+    counters.responses.fetch_add(1, Ordering::SeqCst);
+    if wire.is_shed() {
+        counters.shed.fetch_add(1, Ordering::SeqCst);
+    }
+    let served = arrival_clock().saturating_duration_since(arrived);
+    counters
+        .latency_micros
+        .fetch_add(served.as_micros() as u64, Ordering::SeqCst);
+    Ok(())
+}
+
+/// Blocking client for the frame protocol. Pipelining-friendly: `send`
+/// and `recv` are independent, and [`FrontendClient::try_clone`] lets a
+/// sender thread and a receiver thread share one connection.
+pub struct FrontendClient {
+    stream: TcpStream,
+}
+
+impl FrontendClient {
+    /// Connect to a bound [`Frontend`].
+    pub fn connect(addr: SocketAddr) -> io::Result<Self> {
+        Ok(Self {
+            stream: TcpStream::connect(addr)?,
+        })
+    }
+
+    /// Send one request frame (does not wait for the response).
+    pub fn send(&mut self, request: &WireRequest) -> io::Result<()> {
+        write_frame(&mut self.stream, &request.encode())
+    }
+
+    /// Block until the next response frame arrives (responses are in
+    /// completion order; match [`WireResponse::id`] to your requests).
+    pub fn recv(&mut self) -> io::Result<WireResponse> {
+        let body = read_frame(&mut self.stream)?;
+        WireResponse::decode(&body)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))
+    }
+
+    /// Clone the connection (shared socket, independent position is not a
+    /// concern: frames are atomic writes and reads happen on one half).
+    pub fn try_clone(&self) -> io::Result<Self> {
+        Ok(Self {
+            stream: self.stream.try_clone()?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::service::InferenceService;
+    use lmpeel_lm::{generate, GenerateSpec, InductionLm, LanguageModel};
+
+    #[test]
+    fn request_roundtrip_with_and_without_optionals() {
+        let mut req = WireRequest::new(7, "default", vec![1, 2, 3], 8);
+        assert_eq!(WireRequest::decode(&req.encode()).unwrap(), req);
+        req.model_seed = Some(11);
+        req.step_budget = Some(64);
+        req.wall_ms = Some(250);
+        req.stop_tokens = vec![9];
+        req.seed = 3;
+        req.trace_min_prob = 0.5;
+        assert_eq!(WireRequest::decode(&req.encode()).unwrap(), req);
+    }
+
+    #[test]
+    fn response_roundtrip_both_variants() {
+        let ok = WireResponse {
+            id: 1,
+            body: WireResult::Ok {
+                reused: 5,
+                prefilled: 2,
+                tokens: vec![4, 5, 6],
+            },
+        };
+        assert_eq!(WireResponse::decode(&ok.encode()).unwrap(), ok);
+        let err = WireResponse::err(2, &RequestError::QueueFull);
+        assert_eq!(WireResponse::decode(&err.encode()).unwrap(), err);
+        assert!(err.is_shed());
+        assert!(!ok.is_shed());
+    }
+
+    #[test]
+    fn malformed_bodies_are_rejected_not_panicked() {
+        assert_eq!(WireRequest::decode(&[]), Err(WireError::Truncated));
+        assert_eq!(WireRequest::decode(&[9]), Err(WireError::BadOpcode(9)));
+        let mut good = WireRequest::new(1, "d", vec![1], 4).encode();
+        good.push(0);
+        assert_eq!(WireRequest::decode(&good), Err(WireError::TrailingBytes(1)));
+        let truncated = &good[..good.len() - 4];
+        assert!(WireRequest::decode(truncated).is_err());
+        assert_eq!(WireResponse::decode(&[1]), Err(WireError::BadOpcode(1)));
+    }
+
+    #[test]
+    fn frame_io_roundtrips_and_caps_length() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"hello").unwrap();
+        let body = read_frame(&mut &buf[..]).unwrap();
+        assert_eq!(body, b"hello");
+        let huge = ((MAX_FRAME_LEN + 1) as u32).to_le_bytes();
+        assert!(read_frame(&mut &huge[..]).is_err());
+    }
+
+    #[test]
+    fn end_to_end_pipelined_requests_match_direct_generation() {
+        let model = Arc::new(InductionLm::paper(0));
+        let prompt = model.tokenizer().encode(
+            "Hyperparameter configuration: outer_loop_tiling_factor is 80\nPerformance: ",
+        );
+        let service: Arc<dyn LmService> = Arc::new(
+            InferenceService::builder()
+                .model("default", model.clone())
+                .build(),
+        );
+        let frontend = Frontend::bind(Arc::clone(&service), "127.0.0.1:0").unwrap();
+        let mut client = FrontendClient::connect(frontend.local_addr()).unwrap();
+
+        // Pipeline three requests (two valid, one bad substrate) before
+        // reading anything back.
+        for id in 0..2u64 {
+            let mut req = WireRequest::new(id, "default", prompt.clone(), 5);
+            req.seed = id;
+            client.send(&req).unwrap();
+        }
+        client
+            .send(&WireRequest::new(2, "nope", prompt.clone(), 5))
+            .unwrap();
+
+        let mut got = std::collections::BTreeMap::new();
+        for _ in 0..3 {
+            let resp = client.recv().unwrap();
+            got.insert(resp.id, resp.body);
+        }
+        for id in 0..2u64 {
+            let spec = GenerateSpec::builder()
+                .max_tokens(5)
+                .seed(id)
+                .trace_min_prob(1.0)
+                .build()
+                .unwrap();
+            let expected = generate(&model, &prompt, &spec).unwrap();
+            match &got[&id] {
+                WireResult::Ok { tokens, .. } => {
+                    assert_eq!(tokens, &expected.generated_ids(), "id {id}");
+                }
+                other => panic!("id {id}: expected ok, got {other:?}"),
+            }
+        }
+        match &got[&2] {
+            WireResult::Err { code, .. } => assert_eq!(*code, CODE_UNKNOWN_SUBSTRATE),
+            other => panic!("expected unknown-substrate error, got {other:?}"),
+        }
+
+        let stats = frontend.shutdown();
+        assert_eq!(stats.responses, 3);
+        assert_eq!(stats.shed, 0);
+    }
+}

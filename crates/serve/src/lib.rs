@@ -44,19 +44,42 @@
 
 #[cfg(any(test, feature = "fault-inject"))]
 pub mod faults;
+pub mod frontend;
 mod request;
 mod scheduler;
 mod service;
+mod shard;
 pub mod sync;
 mod trie;
 
 pub use request::{
-    BackpressurePolicy, Deadline, GenerateRequest, GenerateResponse, RequestError,
+    BackpressurePolicy, Deadline, GenerateRequest, GenerateRequestBuilder, GenerateResponse,
+    RequestError,
 };
 pub use service::{
-    InferenceService, ResponseHandle, SchedulerPanicked, ServeStats, ServiceBuilder,
+    InferenceService, LmService, ResponseHandle, SchedulerPanicked, ServeStats, ServiceBuilder,
+};
+pub use shard::{
+    shards_from_env, ShardRouter, ShardedService, ShardedServiceBuilder, DEFAULT_PREFIX_WINDOW,
 };
 pub use trie::{PrefixTrie, TrieStats};
+
+/// One-line import for service consumers: the [`LmService`] contract, both
+/// implementations and their builders, and the request/response vocabulary.
+///
+/// ```
+/// use lmpeel_serve::prelude::*;
+/// ```
+pub mod prelude {
+    pub use crate::request::{
+        BackpressurePolicy, Deadline, GenerateRequest, GenerateRequestBuilder, GenerateResponse,
+        RequestError,
+    };
+    pub use crate::service::{
+        InferenceService, LmService, ResponseHandle, SchedulerPanicked, ServeStats, ServiceBuilder,
+    };
+    pub use crate::shard::{ShardRouter, ShardedService, ShardedServiceBuilder};
+}
 
 #[cfg(test)]
 mod tests {

@@ -1,6 +1,6 @@
 //! Request/response surface of the inference service.
 
-use lmpeel_lm::{GenerateSpec, GenerationTrace, LmError};
+use lmpeel_lm::{GenerateSpec, GenerateSpecBuilder, GenerationTrace, LmError, Sampler};
 use lmpeel_tokenizer::TokenId;
 use std::time::Duration;
 
@@ -79,6 +79,21 @@ pub struct GenerateRequest {
 }
 
 impl GenerateRequest {
+    /// Start building a request: one fluent surface covering the decoding
+    /// spec, the model seed and the deadline, so callers no longer
+    /// assemble a [`GenerateSpec`] separately and thread it through
+    /// [`GenerateRequest::new`]. The shorthand constructors below remain
+    /// for callers that already hold a validated spec.
+    pub fn builder(substrate: impl Into<String>, prompt: Vec<TokenId>) -> GenerateRequestBuilder {
+        GenerateRequestBuilder {
+            substrate: substrate.into(),
+            prompt,
+            spec: GenerateSpec::builder(),
+            model_seed: None,
+            deadline: Deadline::none(),
+        }
+    }
+
     /// Request against `substrate` with no model re-keying and no deadline.
     pub fn new(substrate: impl Into<String>, prompt: Vec<TokenId>, spec: GenerateSpec) -> Self {
         Self {
@@ -112,6 +127,115 @@ impl GenerateRequest {
     pub fn with_wall_deadline(mut self, limit: Duration) -> Self {
         self.deadline.wall = Some(limit);
         self
+    }
+}
+
+/// Builds a [`GenerateRequest`], embedding the decoding-spec builder so
+/// spec knobs and request knobs share one fluent chain:
+///
+/// ```
+/// use lmpeel_serve::GenerateRequest;
+///
+/// let request = GenerateRequest::builder("default", vec![1, 2, 3])
+///     .max_tokens(8)
+///     .seed(42)
+///     .model_seed(7)
+///     .step_budget(64)
+///     .build()
+///     .unwrap();
+/// assert_eq!(request.model_seed, Some(7));
+/// ```
+///
+/// Spec validation happens once, at [`build`](GenerateRequestBuilder::build)
+/// — the same [`LmError`]s [`GenerateSpecBuilder::build`] reports, mapped
+/// through [`RequestError::Lm`].
+#[derive(Debug, Clone)]
+pub struct GenerateRequestBuilder {
+    substrate: String,
+    prompt: Vec<TokenId>,
+    spec: GenerateSpecBuilder,
+    model_seed: Option<u64>,
+    deadline: Deadline,
+}
+
+impl GenerateRequestBuilder {
+    /// Start from an already-validated spec, keeping its settings as the
+    /// base for further spec knobs.
+    pub fn with_spec(mut self, spec: &GenerateSpec) -> Self {
+        self.spec = spec.to_builder();
+        self
+    }
+
+    /// Token-selection strategy; see [`GenerateSpecBuilder::sampler`].
+    pub fn sampler(mut self, sampler: Sampler) -> Self {
+        self.spec = self.spec.sampler(sampler);
+        self
+    }
+
+    /// Generation length cap; see [`GenerateSpecBuilder::max_tokens`].
+    pub fn max_tokens(mut self, max_tokens: usize) -> Self {
+        self.spec = self.spec.max_tokens(max_tokens);
+        self
+    }
+
+    /// Replace the stop set; see [`GenerateSpecBuilder::stop_tokens`].
+    pub fn stop_tokens(mut self, stop_tokens: Vec<TokenId>) -> Self {
+        self.spec = self.spec.stop_tokens(stop_tokens);
+        self
+    }
+
+    /// Add one stop token; see [`GenerateSpecBuilder::stop_token`].
+    pub fn stop_token(mut self, token: TokenId) -> Self {
+        self.spec = self.spec.stop_token(token);
+        self
+    }
+
+    /// Trace probability floor; see [`GenerateSpecBuilder::trace_min_prob`].
+    pub fn trace_min_prob(mut self, p: f32) -> Self {
+        self.spec = self.spec.trace_min_prob(p);
+        self
+    }
+
+    /// Sampling seed; see [`GenerateSpecBuilder::seed`].
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.spec = self.spec.seed(seed);
+        self
+    }
+
+    /// Re-key the decode session to `seed`; see
+    /// [`GenerateRequest::with_model_seed`].
+    pub fn model_seed(mut self, seed: u64) -> Self {
+        self.model_seed = Some(seed);
+        self
+    }
+
+    /// Attach a complete [`Deadline`].
+    pub fn deadline(mut self, deadline: Deadline) -> Self {
+        self.deadline = deadline;
+        self
+    }
+
+    /// Logical step budget; see [`GenerateRequest::with_step_budget`].
+    pub fn step_budget(mut self, steps: u64) -> Self {
+        self.deadline.max_steps = Some(steps);
+        self
+    }
+
+    /// Wall-clock budget; see [`GenerateRequest::with_wall_deadline`].
+    pub fn wall_deadline(mut self, limit: Duration) -> Self {
+        self.deadline.wall = Some(limit);
+        self
+    }
+
+    /// Validate the embedded spec and assemble the request.
+    pub fn build(self) -> Result<GenerateRequest, RequestError> {
+        Ok(GenerateRequest {
+            substrate: self.substrate,
+            prompt: self.prompt,
+            spec: self.spec.build()?,
+            model_seed: self.model_seed,
+            deadline: self.deadline,
+        })
     }
 }
 
@@ -257,6 +381,39 @@ mod tests {
         assert_eq!(r.model_seed, Some(7));
         assert_eq!(r.substrate, "default");
         assert!(r.deadline.is_none());
+    }
+
+    #[test]
+    fn unified_builder_covers_spec_and_request_knobs() {
+        let r = GenerateRequest::builder("default", vec![1, 2])
+            .max_tokens(4)
+            .seed(9)
+            .trace_min_prob(1.0)
+            .model_seed(7)
+            .step_budget(16)
+            .build()
+            .unwrap();
+        assert_eq!(r.spec.max_tokens(), 4);
+        assert_eq!(r.spec.seed(), 9);
+        assert_eq!(r.model_seed, Some(7));
+        assert_eq!(r.deadline.max_steps, Some(16));
+
+        // Adopting a validated spec keeps its settings as the base.
+        let base = GenerateSpec::paper(3);
+        let r = GenerateRequest::builder("default", vec![1])
+            .with_spec(&base)
+            .max_tokens(2)
+            .build()
+            .unwrap();
+        assert_eq!(r.spec.seed(), base.seed());
+        assert_eq!(r.spec.max_tokens(), 2);
+
+        // Spec validation errors surface as RequestError::Lm.
+        let err = GenerateRequest::builder("default", vec![1])
+            .max_tokens(0)
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, RequestError::Lm(_)));
     }
 
     #[test]

@@ -759,13 +759,7 @@ impl Scheduler {
         self.trie_dirty = false;
         let mut prefix = TrieStats::default();
         for trie in self.tries.values() {
-            let t = trie.stats();
-            prefix.full_hits += t.full_hits;
-            prefix.partial_hits += t.partial_hits;
-            prefix.misses += t.misses;
-            prefix.tokens_reused += t.tokens_reused;
-            prefix.tokens_prefilled += t.tokens_prefilled;
-            prefix.evictions += t.evictions;
+            prefix.merge(&trie.stats());
         }
         crate::sync::lock_unpoisoned(&self.stats).prefix = prefix;
     }

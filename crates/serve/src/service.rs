@@ -1,4 +1,5 @@
-//! The service facade: builder, submit handles, stats, shutdown.
+//! The service facade: the [`LmService`] contract, builder, submit
+//! handles, stats, shutdown.
 
 use crate::request::{BackpressurePolicy, GenerateRequest, GenerateResponse, RequestError};
 use crate::scheduler::{panic_message, Envelope, Scheduler, SchedulerConfig};
@@ -61,6 +62,51 @@ pub struct ServeStats {
 }
 
 impl ServeStats {
+    /// Fold `other`'s counters into `self`, field by field — the one
+    /// place sharded stats aggregation is spelled out, so a
+    /// [`crate::ShardedService`] (or any other composite) can merge
+    /// per-shard blocks without hand-summing that silently goes stale
+    /// when a counter is added.
+    pub fn merge(&mut self, other: &ServeStats) {
+        let ServeStats {
+            submitted,
+            completed,
+            failed,
+            rejected,
+            cancelled,
+            deadline_exceeded,
+            panicked,
+            quarantined,
+            drained,
+            retried,
+            breaker_reopened,
+            breaker_recovered,
+            prefix,
+        } = other;
+        self.submitted += submitted;
+        self.completed += completed;
+        self.failed += failed;
+        self.rejected += rejected;
+        self.cancelled += cancelled;
+        self.deadline_exceeded += deadline_exceeded;
+        self.panicked += panicked;
+        self.quarantined += quarantined;
+        self.drained += drained;
+        self.retried += retried;
+        self.breaker_reopened += breaker_reopened;
+        self.breaker_recovered += breaker_recovered;
+        self.prefix.merge(prefix);
+    }
+
+    /// [`ServeStats::merge`] over any number of per-shard blocks.
+    pub fn merged<'a>(blocks: impl IntoIterator<Item = &'a ServeStats>) -> ServeStats {
+        let mut total = ServeStats::default();
+        for b in blocks {
+            total.merge(b);
+        }
+        total
+    }
+
     /// Classify one terminal result into the counters. Shared by the
     /// scheduler's retire/reject paths so `failed` and its breakdown can
     /// never drift apart.
@@ -101,7 +147,80 @@ impl std::fmt::Display for SchedulerPanicked {
 
 impl std::error::Error for SchedulerPanicked {}
 
+/// The service contract every serving topology implements: the
+/// single-shard [`InferenceService`] and the multi-core
+/// [`crate::ShardedService`] are interchangeable behind it, so experiment
+/// drivers, the llambo helpers, the line-protocol front-end and the bench
+/// binaries are written once against `dyn LmService` and scale from one
+/// scheduler thread to one-per-core without touching a call site.
+///
+/// The trait is deliberately narrow — submit, stats, shutdown — because
+/// that is the whole lifecycle a caller owns. Everything else
+/// (backpressure policy, shard count, prefix-affinity routing, breaker
+/// tuning) is fixed at build time by the concrete builder.
+///
+/// # Contract
+///
+/// * `submit` is thread-safe behind `&self` and non-blocking apart from
+///   the configured [`BackpressurePolicy`].
+/// * Traces are **topology-independent**: a request's response bytes are
+///   a deterministic function of the request alone (which service, shard
+///   or admission interleaving handled it cannot change them). The
+///   sharded-vs-single equivalence proptests pin this.
+/// * `stats` may be read at any time; counters are settled no later than
+///   the moment a request's result is observable through its handle.
+/// * `shutdown` drains gracefully: in-flight work finishes, queued work
+///   is rejected with [`RequestError::ShutDown`], and scheduler-thread
+///   panics surface as [`SchedulerPanicked`] instead of being swallowed.
+pub trait LmService: Send + Sync {
+    /// Queue a request, returning a handle to wait on.
+    fn submit(&self, request: GenerateRequest) -> Result<ResponseHandle, RequestError>;
+
+    /// Current counters, aggregated across every shard the service owns.
+    fn stats(&self) -> ServeStats;
+
+    /// Gracefully drain and join every scheduler the service owns (see
+    /// [`InferenceService::shutdown`]). Takes `Box<Self>` so the trait
+    /// stays object-safe while still consuming the service.
+    fn shutdown(self: Box<Self>) -> Result<ServeStats, SchedulerPanicked>;
+
+    /// Submit and wait: the one-call path for sequential callers.
+    fn generate(&self, request: GenerateRequest) -> Result<GenerateResponse, RequestError> {
+        self.submit(request)?.wait()
+    }
+}
+
+impl LmService for InferenceService {
+    fn submit(&self, request: GenerateRequest) -> Result<ResponseHandle, RequestError> {
+        InferenceService::submit(self, request)
+    }
+
+    fn stats(&self) -> ServeStats {
+        InferenceService::stats(self)
+    }
+
+    fn shutdown(self: Box<Self>) -> Result<ServeStats, SchedulerPanicked> {
+        InferenceService::shutdown(*self)
+    }
+}
+
+impl From<SchedulerPanicked> for RequestError {
+    /// A dead scheduler fails a request exactly like a contained
+    /// substrate panic would: with the stringified payload. Completes the
+    /// `From` lattice (`LmError → RequestError ← SchedulerPanicked`) so
+    /// composite services and the front-end propagate every failure kind
+    /// with `?` instead of ad-hoc rewrapping.
+    fn from(e: SchedulerPanicked) -> Self {
+        RequestError::Panicked(e.reason)
+    }
+}
+
 /// Configures and spawns an [`InferenceService`].
+///
+/// `Clone` so the builder can serve as the per-shard template of a
+/// [`crate::ShardedServiceBuilder`] (models are shared by `Arc`, knobs by
+/// value).
+#[derive(Clone)]
 pub struct ServiceBuilder {
     models: HashMap<String, Arc<dyn LanguageModel>>,
     queue_capacity: usize,
@@ -207,6 +326,28 @@ impl ServiceBuilder {
     pub fn fuse_batches(mut self, fuse: bool) -> Self {
         self.fuse_batches = fuse;
         self
+    }
+
+    /// Build behind the [`LmService`] contract, sharding when the
+    /// environment asks for it: `LMPEEL_SHARDS=N` (N > 1) turns this
+    /// single-shard configuration into an N-shard
+    /// [`crate::ShardedService`] whose shards share this builder's models
+    /// and knobs; otherwise the plain [`InferenceService`] is returned.
+    /// Existing callers opt into multi-core serving by switching `build()`
+    /// to `build_service()` — every submit/wait call site stays the same.
+    ///
+    /// Shard count cannot change any request's bytes (traces are
+    /// topology-independent, see [`LmService`]), so reading the
+    /// environment here cannot perturb golden outputs.
+    pub fn build_service(self) -> Box<dyn LmService> {
+        match crate::shard::shards_from_env() {
+            Some(n) if n.get() > 1 => Box::new(
+                crate::shard::ShardedServiceBuilder::from_template(self)
+                    .shards(n.get())
+                    .build(),
+            ),
+            _ => Box::new(self.build()),
+        }
     }
 
     /// Spawn the scheduler thread and return the running service.

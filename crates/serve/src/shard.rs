@@ -1,0 +1,504 @@
+//! Multi-core serving: N scheduler shards behind a prefix-affinity router.
+//!
+//! One scheduler thread is the single-shard service's scale ceiling: every
+//! decode step of every in-flight request funnels through it, and its one
+//! prefix trie is the only cache capacity the whole workload gets. The
+//! [`ShardedService`] removes both limits at once. It owns `N` complete
+//! [`InferenceService`] shards — each with its own scheduler thread, its
+//! own substrate replicas and its own per-substrate prefix tries — and a
+//! [`ShardRouter`] that assigns every request to a shard by **hashing the
+//! prompt's prefix window**. Requests sharing a prompt prefix therefore
+//! land on the same shard, so prefix-cache hits stay shard-local: the
+//! aggregate trie capacity scales with the shard count instead of being
+//! split uselessly across caches that each see every prompt.
+//!
+//! # Determinism boundary
+//!
+//! Per-shard behaviour is exactly the single-shard service's — fusion,
+//! circuit breakers, retries and trace bytes are all per-shard state, and
+//! a shard fed some request stream behaves byte-identically to a
+//! standalone [`InferenceService`] fed the same stream (pinned by
+//! `tests/sharded.rs`). What sharding deliberately does **not** pin is
+//! *cross-shard completion order*: shards run on independent OS threads,
+//! so which shard retires first is timing. Callers observe order only
+//! through their own [`crate::ResponseHandle`]s, and each handle's bytes
+//! are a function of its request alone, so the reported (not pinned)
+//! cross-shard order cannot leak into any golden artifact.
+
+use crate::request::{GenerateRequest, GenerateResponse, RequestError};
+use crate::service::{
+    InferenceService, LmService, ResponseHandle, SchedulerPanicked, ServeStats, ServiceBuilder,
+};
+use lmpeel_lm::LanguageModel;
+use lmpeel_tokenizer::TokenId;
+use std::num::NonZeroUsize;
+use std::sync::Arc;
+
+/// FNV-1a 64-bit over a token-id sequence. Process-stable (unlike the std
+/// hasher's per-process random keys), so routing is deterministic across
+/// runs and across machines — a property the router proptests pin.
+fn fnv1a64_tokens(tokens: &[TokenId]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &t in tokens {
+        for b in t.to_le_bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+    h
+}
+
+/// Assigns requests to shards by prompt-prefix hash.
+///
+/// The router hashes the first [`prefix_window`](ShardRouter::prefix_window)
+/// tokens of the prompt (the whole prompt when shorter) and reduces the
+/// hash modulo the shard count. Two prompts agreeing on the window land on
+/// the same shard even if they diverge later — which is precisely what the
+/// prefix trie wants: divergent-tail requests score a *partial* hit against
+/// the shard-local snapshot of their common prefix instead of missing in
+/// `N-1` foreign caches.
+///
+/// Routing looks at the prompt only, not the substrate, so one prompt
+/// family's induction and transformer traffic colocates and the per-shard
+/// multi-substrate registry behaves exactly like the single-shard one.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardRouter {
+    shards: NonZeroUsize,
+    prefix_window: usize,
+}
+
+impl ShardRouter {
+    /// Router over `shards` shards keyed on the first `prefix_window`
+    /// prompt tokens (`shards` is clamped to at least 1; a zero window
+    /// routes everything to shard 0).
+    pub fn new(shards: usize, prefix_window: usize) -> Self {
+        Self {
+            shards: NonZeroUsize::new(shards.max(1)).expect("max(1) is nonzero"),
+            prefix_window,
+        }
+    }
+
+    /// Number of shards this router spreads over.
+    pub fn shards(&self) -> usize {
+        self.shards.get()
+    }
+
+    /// Prompt tokens considered by the affinity hash.
+    pub fn prefix_window(&self) -> usize {
+        self.prefix_window
+    }
+
+    /// The shard that owns `prompt`'s prefix. Pure and process-stable:
+    /// equal prefixes give equal shards, today and on every rerun.
+    pub fn route(&self, prompt: &[TokenId]) -> usize {
+        let window = prompt.len().min(self.prefix_window);
+        (fnv1a64_tokens(&prompt[..window]) % self.shards.get() as u64) as usize
+    }
+}
+
+/// Shard count requested through the environment: `LMPEEL_SHARDS=N`.
+/// `None` when unset, empty, or unparsable — callers treat all three as
+/// "stay single-shard".
+pub fn shards_from_env() -> Option<NonZeroUsize> {
+    std::env::var("LMPEEL_SHARDS")
+        .ok()
+        .and_then(|v| v.trim().parse().ok())
+}
+
+/// Per-shard replica source for one substrate name.
+#[derive(Clone)]
+enum ReplicaSource {
+    /// One `Arc` shared by every shard. Correct for any
+    /// [`LanguageModel`] (they are `&self`-pure and `Send + Sync`), and
+    /// the cheap default when the model is large.
+    Shared(Arc<dyn LanguageModel>),
+    /// A fresh replica per shard, built from the shard index. Gives each
+    /// shard its own interior caches (e.g. the transformer's
+    /// attention-weight memo) at the cost of `N` copies of the weights.
+    PerShard(Arc<dyn Fn(usize) -> Arc<dyn LanguageModel> + Send + Sync>),
+}
+
+/// Configures and spawns a [`ShardedService`].
+///
+/// Every knob of the single-shard [`ServiceBuilder`] is available here
+/// with the same name and applies **per shard** (each shard is a complete
+/// `InferenceService`): `queue_capacity` bounds each shard's queue,
+/// `max_batch` each shard's in-flight set, `prefix_cache_capacity` each
+/// shard's tries — so aggregate capacity scales with the shard count by
+/// construction.
+#[derive(Clone)]
+pub struct ShardedServiceBuilder {
+    template: ServiceBuilder,
+    sources: Vec<(String, ReplicaSource)>,
+    shards: usize,
+    prefix_window: usize,
+}
+
+impl Default for ShardedServiceBuilder {
+    fn default() -> Self {
+        Self {
+            template: ServiceBuilder::new(),
+            sources: Vec::new(),
+            shards: 2,
+            prefix_window: DEFAULT_PREFIX_WINDOW,
+        }
+    }
+}
+
+/// Default routing window: long enough that distinct ICL prompt families
+/// (which differ inside their first example line) hash apart, short
+/// enough that one family's per-seed and per-query variants — which agree
+/// far beyond this — always colocate.
+pub const DEFAULT_PREFIX_WINDOW: usize = 64;
+
+impl ShardedServiceBuilder {
+    /// Fresh builder: 2 shards, a [`DEFAULT_PREFIX_WINDOW`]-token routing
+    /// window, and the single-shard defaults for every per-shard knob.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adopt a configured single-shard builder as the per-shard template:
+    /// its models become shared replicas on every shard and its knobs the
+    /// per-shard knobs. This is how [`ServiceBuilder::build_service`]
+    /// upgrades an existing configuration without re-stating it.
+    pub fn from_template(template: ServiceBuilder) -> Self {
+        Self {
+            template,
+            ..Self::default()
+        }
+    }
+
+    /// Number of scheduler shards (minimum 1; one per core is the
+    /// intended shape).
+    pub fn shards(mut self, shards: usize) -> Self {
+        self.shards = shards.max(1);
+        self
+    }
+
+    /// Prompt tokens the router hashes for shard affinity.
+    pub fn prefix_window(mut self, tokens: usize) -> Self {
+        self.prefix_window = tokens;
+        self
+    }
+
+    /// Register `model` under `substrate` on every shard (one shared
+    /// replica; see the sharing trade-offs on [`Self::model_factory`]).
+    pub fn model(mut self, substrate: impl Into<String>, model: Arc<dyn LanguageModel>) -> Self {
+        self.sources
+            .push((substrate.into(), ReplicaSource::Shared(model)));
+        self
+    }
+
+    /// Register a per-shard replica factory under `substrate`: `factory`
+    /// is called once per shard with the shard index, so every shard owns
+    /// its own model instance (own interior caches, no cross-shard
+    /// sharing).
+    pub fn model_factory(
+        mut self,
+        substrate: impl Into<String>,
+        factory: impl Fn(usize) -> Arc<dyn LanguageModel> + Send + Sync + 'static,
+    ) -> Self {
+        self.sources
+            .push((substrate.into(), ReplicaSource::PerShard(Arc::new(factory))));
+        self
+    }
+
+    /// Per-shard queue bound; see [`ServiceBuilder::queue_capacity`].
+    pub fn queue_capacity(mut self, capacity: usize) -> Self {
+        self.template = self.template.queue_capacity(capacity);
+        self
+    }
+
+    /// Per-shard backpressure policy; see [`ServiceBuilder::backpressure`].
+    pub fn backpressure(mut self, policy: crate::request::BackpressurePolicy) -> Self {
+        self.template = self.template.backpressure(policy);
+        self
+    }
+
+    /// Per-shard in-flight bound; see [`ServiceBuilder::max_batch`].
+    pub fn max_batch(mut self, max_batch: usize) -> Self {
+        self.template = self.template.max_batch(max_batch);
+        self
+    }
+
+    /// Per-shard prefix-cache capacity; see
+    /// [`ServiceBuilder::prefix_cache_capacity`].
+    pub fn prefix_cache_capacity(mut self, capacity: usize) -> Self {
+        self.template = self.template.prefix_cache_capacity(capacity);
+        self
+    }
+
+    /// Per-shard breaker trip threshold; see
+    /// [`ServiceBuilder::quarantine_after`].
+    pub fn quarantine_after(mut self, panics: u32) -> Self {
+        self.template = self.template.quarantine_after(panics);
+        self
+    }
+
+    /// Per-shard breaker cooldown; see [`ServiceBuilder::breaker_cooldown`].
+    pub fn breaker_cooldown(mut self, rounds: u64) -> Self {
+        self.template = self.template.breaker_cooldown(rounds);
+        self
+    }
+
+    /// Per-request retry budget; see [`ServiceBuilder::retry_budget`].
+    pub fn retry_budget(mut self, retries: u32) -> Self {
+        self.template = self.template.retry_budget(retries);
+        self
+    }
+
+    /// Per-shard batch fusion toggle; see [`ServiceBuilder::fuse_batches`].
+    pub fn fuse_batches(mut self, fuse: bool) -> Self {
+        self.template = self.template.fuse_batches(fuse);
+        self
+    }
+
+    /// Spawn every shard's scheduler thread and return the running
+    /// service.
+    pub fn build(self) -> ShardedService {
+        let router = ShardRouter::new(self.shards, self.prefix_window);
+        let shards = (0..router.shards())
+            .map(|shard| {
+                let mut b = self.template.clone();
+                for (name, source) in &self.sources {
+                    let replica = match source {
+                        ReplicaSource::Shared(m) => Arc::clone(m),
+                        ReplicaSource::PerShard(f) => f(shard),
+                    };
+                    b = b.model(name.clone(), replica);
+                }
+                b.build()
+            })
+            .collect();
+        ShardedService { router, shards }
+    }
+}
+
+/// A running multi-shard inference service: `N` independent
+/// [`InferenceService`] shards fronted by a [`ShardRouter`].
+///
+/// Implements [`LmService`], so every call site written against the trait
+/// — the experiment driver, the llambo helpers, the front-end, the load
+/// generator — drives it exactly like the single-shard service.
+pub struct ShardedService {
+    router: ShardRouter,
+    shards: Vec<InferenceService>,
+}
+
+impl ShardedService {
+    /// Start configuring a sharded service.
+    pub fn builder() -> ShardedServiceBuilder {
+        ShardedServiceBuilder::new()
+    }
+
+    /// The routing function in use (exposed so tests and the load
+    /// generator can predict placements).
+    pub fn router(&self) -> &ShardRouter {
+        &self.router
+    }
+
+    /// Route and queue a request on its prefix-affine shard.
+    pub fn submit(&self, request: GenerateRequest) -> Result<ResponseHandle, RequestError> {
+        self.shards[self.router.route(&request.prompt)].submit(request)
+    }
+
+    /// Submit and wait: the one-call path for sequential callers.
+    pub fn generate(&self, request: GenerateRequest) -> Result<GenerateResponse, RequestError> {
+        self.submit(request)?.wait()
+    }
+
+    /// Aggregate counters over all shards ([`ServeStats::merge`]).
+    pub fn stats(&self) -> ServeStats {
+        ServeStats::merged(self.shard_stats().iter())
+    }
+
+    /// Per-shard counter blocks, indexed like the router's shard indices
+    /// (for load-balance reporting; the sum is [`ShardedService::stats`]).
+    pub fn shard_stats(&self) -> Vec<ServeStats> {
+        self.shards.iter().map(InferenceService::stats).collect()
+    }
+
+    /// Gracefully drain and join every shard. Stats from cleanly joined
+    /// shards are merged and returned; if any shard's scheduler thread
+    /// panicked, the first panic is surfaced instead (after every shard
+    /// has still been joined, so no thread leaks behind the error).
+    pub fn shutdown(self) -> Result<ServeStats, SchedulerPanicked> {
+        let mut total = ServeStats::default();
+        let mut first_panic = None;
+        for shard in self.shards {
+            match shard.shutdown() {
+                Ok(stats) => total.merge(&stats),
+                Err(p) => first_panic = first_panic.or(Some(p)),
+            }
+        }
+        match first_panic {
+            Some(p) => Err(p),
+            None => Ok(total),
+        }
+    }
+}
+
+impl LmService for ShardedService {
+    fn submit(&self, request: GenerateRequest) -> Result<ResponseHandle, RequestError> {
+        ShardedService::submit(self, request)
+    }
+
+    fn stats(&self) -> ServeStats {
+        ShardedService::stats(self)
+    }
+
+    fn shutdown(self: Box<Self>) -> Result<ServeStats, SchedulerPanicked> {
+        ShardedService::shutdown(*self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lmpeel_lm::{generate, GenerateSpec, InductionLm, LanguageModel};
+
+    fn spec(seed: u64) -> GenerateSpec {
+        GenerateSpec::builder()
+            .max_tokens(5)
+            .seed(seed)
+            .build()
+            .unwrap()
+    }
+
+    fn icl_prompt(model: &InductionLm, v: &str) -> Vec<TokenId> {
+        model.tokenizer().encode(&format!(
+            "Hyperparameter configuration: outer_loop_tiling_factor is 80\n\
+             Performance: {v}\nHyperparameter configuration: \
+             outer_loop_tiling_factor is 80\nPerformance: "
+        ))
+    }
+
+    #[test]
+    fn router_is_stable_and_in_range() {
+        let r = ShardRouter::new(4, 8);
+        let prompts: Vec<Vec<TokenId>> = (0..32u32)
+            .map(|i| (0..12).map(|j| i * 31 + j).collect())
+            .collect();
+        for p in &prompts {
+            let shard = r.route(p);
+            assert!(shard < 4);
+            assert_eq!(shard, r.route(p), "routing must be pure");
+            assert_eq!(
+                shard,
+                ShardRouter::new(4, 8).route(p),
+                "routing must not depend on router identity"
+            );
+        }
+    }
+
+    #[test]
+    fn prompts_sharing_the_window_share_a_shard() {
+        let r = ShardRouter::new(8, 6);
+        let base: Vec<TokenId> = (0..6).collect();
+        let mut a = base.clone();
+        a.extend([100, 101]);
+        let mut b = base.clone();
+        b.extend([200, 201, 202]);
+        assert_eq!(r.route(&a), r.route(&b), "divergence past the window");
+        assert_eq!(r.route(&base), r.route(&a), "window-length prompt");
+    }
+
+    #[test]
+    fn zero_shards_clamps_to_one_and_empty_prompts_route() {
+        let r = ShardRouter::new(0, 64);
+        assert_eq!(r.shards(), 1);
+        assert_eq!(r.route(&[]), 0);
+        let r = ShardRouter::new(3, 0);
+        let a: Vec<TokenId> = vec![1, 2, 3];
+        let b: Vec<TokenId> = vec![9, 9];
+        assert_eq!(r.route(&a), r.route(&b), "zero window routes uniformly");
+    }
+
+    #[test]
+    fn sharded_traces_match_sequential_generation() {
+        let model = Arc::new(InductionLm::paper(0));
+        let service = ShardedService::builder()
+            .shards(3)
+            .model("default", model.clone())
+            .build();
+        for (i, v) in ["0.0022155", "0.0051230", "0.0031999"].iter().enumerate() {
+            let prompt = icl_prompt(&model, v);
+            let expected = generate(&model, &prompt, &spec(i as u64)).unwrap();
+            let got = service
+                .generate(GenerateRequest::new("default", prompt, spec(i as u64)))
+                .unwrap();
+            assert_eq!(got.trace, expected, "prompt {i}");
+        }
+        let stats = service.shutdown().expect("clean join");
+        assert_eq!(stats.completed, 3);
+        assert_eq!(stats.submitted, 3);
+    }
+
+    #[test]
+    fn per_shard_replica_factories_run_once_per_shard() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let built = Arc::new(AtomicUsize::new(0));
+        let b2 = Arc::clone(&built);
+        let service = ShardedService::builder()
+            .shards(3)
+            .model_factory("default", move |_shard| {
+                b2.fetch_add(1, Ordering::SeqCst);
+                Arc::new(InductionLm::paper(0))
+            })
+            .build();
+        assert_eq!(built.load(Ordering::SeqCst), 3);
+        drop(service);
+    }
+
+    #[test]
+    fn stats_aggregate_across_shards() {
+        let model = Arc::new(InductionLm::paper(0));
+        let service = ShardedService::builder()
+            .shards(4)
+            .model("default", model.clone())
+            .build();
+        let prompts: Vec<Vec<TokenId>> = ["0.0022155", "0.0051230", "0.0031999", "0.0040000"]
+            .iter()
+            .map(|v| icl_prompt(&model, v))
+            .collect();
+        // Two requests per prompt: the second full-hits its shard's trie.
+        for p in &prompts {
+            for seed in 0..2 {
+                service
+                    .generate(GenerateRequest::new("default", p.clone(), spec(seed)))
+                    .unwrap();
+            }
+        }
+        let unknown = service
+            .generate(GenerateRequest::new("nope", prompts[0].clone(), spec(0)))
+            .unwrap_err();
+        assert!(matches!(unknown, RequestError::UnknownSubstrate(_)));
+        let merged = service.stats();
+        let per_shard = service.shard_stats();
+        assert_eq!(merged, ServeStats::merged(per_shard.iter()));
+        assert_eq!(merged.submitted, 9);
+        assert_eq!(merged.completed, 8);
+        assert_eq!(merged.failed, 1);
+        assert_eq!(
+            merged.prefix.full_hits, 4,
+            "each prompt's second request hits its shard-local trie"
+        );
+        assert_eq!(merged.prefix.misses, 4);
+    }
+
+    #[test]
+    fn builder_template_adoption_keeps_models_and_knobs() {
+        let model: Arc<dyn LanguageModel> = Arc::new(InductionLm::paper(0));
+        let template = InferenceService::builder()
+            .model("default", Arc::clone(&model))
+            .max_batch(2);
+        let service = ShardedServiceBuilder::from_template(template)
+            .shards(2)
+            .build();
+        let prompt = model.tokenizer().encode("Performance: ");
+        assert!(service
+            .generate(GenerateRequest::new("default", prompt, spec(0)))
+            .is_ok());
+    }
+}

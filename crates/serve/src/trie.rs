@@ -34,6 +34,28 @@ pub struct TrieStats {
     pub evictions: u64,
 }
 
+impl TrieStats {
+    /// Fold `other`'s counters into `self` — the aggregation used both by
+    /// the scheduler (summing per-substrate tries) and by
+    /// [`crate::ServeStats::merge`] (summing per-shard blocks).
+    pub fn merge(&mut self, other: &TrieStats) {
+        let TrieStats {
+            full_hits,
+            partial_hits,
+            misses,
+            tokens_reused,
+            tokens_prefilled,
+            evictions,
+        } = other;
+        self.full_hits += full_hits;
+        self.partial_hits += partial_hits;
+        self.misses += misses;
+        self.tokens_reused += tokens_reused;
+        self.tokens_prefilled += tokens_prefilled;
+        self.evictions += evictions;
+    }
+}
+
 struct Node {
     children: HashMap<TokenId, usize>,
     snapshot: Option<Snapshot>,
